@@ -1,0 +1,276 @@
+//! Conditions `φ` and complete conditions on a set of names (Section 5).
+//!
+//! ```text
+//! φ ::= (x=y) | ¬φ | φ∧φ
+//! ```
+//!
+//! A condition is *complete on V* (Definition 16) when it determines, for
+//! every pair of names in `V`, whether they are equal — i.e. it carries
+//! the same information as an equivalence relation (partition) of `V`.
+//! Complete conditions are the backbone of head normal forms
+//! (Definition 17) and of the ∀σ quantification in `~c`: a substitution
+//! *agrees* with a condition (Definition 18) iff it realises exactly the
+//! identifications the condition asserts.
+
+use bpi_core::builder::{mat, nil};
+use bpi_core::name::{Name, NameSet};
+use bpi_core::subst::Subst;
+use bpi_core::syntax::P;
+use std::fmt;
+
+/// A boolean condition over name equalities.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Condition {
+    True,
+    False,
+    Eq(Name, Name),
+    Not(Box<Condition>),
+    And(Box<Condition>, Box<Condition>),
+}
+
+impl Condition {
+    /// `(x ≠ y)` — the paper's shorthand `¬(x=y)`.
+    pub fn neq(x: Name, y: Name) -> Condition {
+        Condition::Not(Box::new(Condition::Eq(x, y)))
+    }
+
+    /// Conjunction, short-circuiting trivial cases.
+    pub fn and(self, other: Condition) -> Condition {
+        match (self, other) {
+            (Condition::True, c) | (c, Condition::True) => c,
+            (Condition::False, _) | (_, Condition::False) => Condition::False,
+            (a, b) => Condition::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Evaluates the condition under a substitution (names are equal iff
+    /// their images coincide).
+    pub fn eval(&self, s: &Subst) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::Eq(x, y) => s.apply(*x) == s.apply(*y),
+            Condition::Not(c) => !c.eval(s),
+            Condition::And(a, b) => a.eval(s) && b.eval(s),
+        }
+    }
+
+    /// Evaluates with names taken literally (identity substitution).
+    pub fn eval_literal(&self) -> bool {
+        self.eval(&Subst::identity())
+    }
+
+    /// Applies a substitution to the condition's names.
+    pub fn substitute(&self, s: &Subst) -> Condition {
+        match self {
+            Condition::True => Condition::True,
+            Condition::False => Condition::False,
+            Condition::Eq(x, y) => Condition::Eq(s.apply(*x), s.apply(*y)),
+            Condition::Not(c) => Condition::Not(Box::new(c.substitute(s))),
+            Condition::And(a, b) => {
+                Condition::And(Box::new(a.substitute(s)), Box::new(b.substitute(s)))
+            }
+        }
+    }
+
+    /// The names occurring in the condition.
+    pub fn names(&self) -> NameSet {
+        match self {
+            Condition::True | Condition::False => NameSet::new(),
+            Condition::Eq(x, y) => NameSet::from_iter([*x, *y]),
+            Condition::Not(c) => c.names(),
+            Condition::And(a, b) => a.names().union(&b.names()),
+        }
+    }
+
+    /// Encodes the condition as a process guard around `p`: behaves as
+    /// `p` when the condition holds and as `nil` otherwise. Arbitrary
+    /// conditions are supported through [`Condition::guard_ite`].
+    pub fn guard(&self, p: P) -> P {
+        self.guard_ite(p, nil())
+    }
+
+    /// General conditional: a process behaving as `then` when the
+    /// condition holds and as `els` otherwise, built from nested
+    /// `(x=y)p,q` matches. This is how the expansion law's derived
+    /// conditions (which involve disjunction through `¬(φ∧ψ)`) are
+    /// realised in the raw syntax.
+    pub fn guard_ite(&self, then: P, els: P) -> P {
+        match self {
+            Condition::True => then,
+            Condition::False => els,
+            Condition::Eq(x, y) => mat(*x, *y, then, els),
+            Condition::Not(c) => c.guard_ite(els, then),
+            Condition::And(a, b) => a.guard_ite(b.guard_ite(then, els.clone()), els),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => f.write_str("true"),
+            Condition::False => f.write_str("false"),
+            Condition::Eq(x, y) => write!(f, "({x}={y})"),
+            Condition::Not(c) => write!(f, "!{c}"),
+            Condition::And(a, b) => write!(f, "{a} & {b}"),
+        }
+    }
+}
+
+/// A partition of a finite name set — the semantic content of a complete
+/// condition (Definition 16). Blocks are kept sorted; each block's least
+/// element is its representative.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Partition {
+    pub blocks: Vec<Vec<Name>>,
+}
+
+impl Partition {
+    /// The discrete partition (all names distinct).
+    pub fn discrete(names: &NameSet) -> Partition {
+        Partition {
+            blocks: names.iter().map(|n| vec![n]).collect(),
+        }
+    }
+
+    /// All partitions of `names` (Bell-number many).
+    pub fn enumerate(names: &NameSet) -> Vec<Partition> {
+        let ns: Vec<Name> = names.to_vec();
+        let mut out = Vec::new();
+        fn go(ns: &[Name], i: usize, blocks: &mut Vec<Vec<Name>>, out: &mut Vec<Partition>) {
+            if i == ns.len() {
+                out.push(Partition {
+                    blocks: blocks.clone(),
+                });
+                return;
+            }
+            for b in 0..blocks.len() {
+                blocks[b].push(ns[i]);
+                go(ns, i + 1, blocks, out);
+                blocks[b].pop();
+            }
+            blocks.push(vec![ns[i]]);
+            go(ns, i + 1, blocks, out);
+            blocks.pop();
+        }
+        go(&ns, 0, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// The collapsing substitution: every name maps to its block's least
+    /// element.
+    pub fn collapse(&self) -> Subst {
+        let mut s = Subst::identity();
+        for block in &self.blocks {
+            let rep = *block.iter().min().expect("empty block");
+            for &n in block {
+                s.bind(n, rep);
+            }
+        }
+        s
+    }
+
+    /// Whether two names are in the same block.
+    pub fn same_block(&self, x: Name, y: Name) -> bool {
+        self.blocks
+            .iter()
+            .any(|b| b.contains(&x) && b.contains(&y))
+    }
+
+    /// The complete condition asserting exactly this partition: equality
+    /// within blocks, inequality across block representatives.
+    pub fn condition(&self) -> Condition {
+        let mut c = Condition::True;
+        for block in &self.blocks {
+            let rep = block[0];
+            for &n in &block[1..] {
+                c = c.and(Condition::Eq(rep, n));
+            }
+        }
+        for (i, bi) in self.blocks.iter().enumerate() {
+            for bj in self.blocks.iter().skip(i + 1) {
+                c = c.and(Condition::neq(bi[0], bj[0]));
+            }
+        }
+        c
+    }
+
+    /// Whether a substitution *agrees* with this partition
+    /// (Definition 18): names are identified iff they share a block.
+    pub fn agrees(&self, s: &Subst, names: &NameSet) -> bool {
+        let ns: Vec<Name> = names.to_vec();
+        for (i, &x) in ns.iter().enumerate() {
+            for &y in &ns[i + 1..] {
+                if (s.apply(x) == s.apply(y)) != self.same_block(x, y) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpi_core::builder::names;
+
+    #[test]
+    fn eval_and_substitute() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        let cond = Condition::Eq(a, b).and(Condition::neq(b, c));
+        assert!(!cond.eval_literal(), "a ≠ b literally");
+        let s = Subst::single(b, a);
+        assert!(cond.eval(&s));
+        let cond2 = cond.substitute(&s);
+        assert!(cond2.eval_literal());
+    }
+
+    #[test]
+    fn enumerate_counts_bell_numbers() {
+        let [a, b, c, d] = names(["a", "b", "c", "d"]);
+        assert_eq!(Partition::enumerate(&NameSet::from_iter([a])).len(), 1);
+        assert_eq!(Partition::enumerate(&NameSet::from_iter([a, b])).len(), 2);
+        assert_eq!(
+            Partition::enumerate(&NameSet::from_iter([a, b, c])).len(),
+            5
+        );
+        assert_eq!(
+            Partition::enumerate(&NameSet::from_iter([a, b, c, d])).len(),
+            15
+        );
+    }
+
+    #[test]
+    fn collapse_agrees_with_its_partition() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        let ns = NameSet::from_iter([a, b, c]);
+        for p in Partition::enumerate(&ns) {
+            let s = p.collapse();
+            assert!(p.agrees(&s, &ns), "collapse must agree with {p:?}");
+            assert!(p.condition().eval(&s), "condition must hold under collapse");
+        }
+    }
+
+    #[test]
+    fn conditions_of_distinct_partitions_are_exclusive() {
+        let [a, b] = names(["a", "b"]);
+        let ns = NameSet::from_iter([a, b]);
+        let parts = Partition::enumerate(&ns);
+        for p1 in &parts {
+            for p2 in &parts {
+                let agree = p1.condition().eval(&p2.collapse());
+                assert_eq!(agree, p1 == p2);
+            }
+        }
+    }
+
+    #[test]
+    fn guard_encodes_literals() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        let cond = Condition::Eq(a, b).and(Condition::neq(a, c));
+        let g = cond.guard(bpi_core::builder::out_(c, []));
+        assert_eq!(g.to_string(), "[a=b]{[a=c]{0}{c<>}}");
+    }
+}

@@ -1,0 +1,455 @@
+//! Syntactic head computation for finite processes — Tables 7 and 8 as
+//! executable rewrites.
+//!
+//! A *head* is an unguarded prefix occurrence: the `φα.` part of a head
+//! normal form summand. [`heads`] computes the heads of a finite process
+//! **syntactically**, by structural recursion:
+//!
+//! * matches are evaluated literally (the caller has already applied a
+//!   collapsing substitution, so conditions are concrete) — axioms
+//!   (C5), (C4);
+//! * restrictions are pushed inward by the Table 7 axioms, including the
+//!   broadcast-specific `(RP2) νx x̄ỹ.p = τ.νx p` (an output on a
+//!   restricted channel still fires, silently — false in the π-calculus)
+//!   and `(RP3) νx x(ỹ).p = nil`;
+//! * parallel compositions are expanded by the Table 8 broadcast
+//!   expansion law: an output of one side pairs with a *receipt* by the
+//!   other side when it listens, and with a *discard* when it does not;
+//!   inputs synchronise (both sides receive the same broadcast) or pass
+//!   a discarding partner.
+//!
+//! This is a second, independent implementation of the first transition
+//! layer of the calculus — deliberately derived from the axioms rather
+//! than from the SOS rules of Table 3 — and the agreement of the
+//! normal-form prover built on it with the semantic congruence checker
+//! is the executable content of Theorems 6 and 7.
+
+use bpi_core::builder::{new_many, par};
+use bpi_core::name::{fresh_name, fresh_names, Name};
+use bpi_core::subst::Subst;
+use bpi_core::syntax::{Prefix, Process, P};
+
+/// An unguarded prefix of a finite process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Head {
+    /// `τ.`
+    Tau,
+    /// `a(x̃).` — the names are binders over the continuation.
+    Input(Name, Vec<Name>),
+    /// `āỹ.` — free output.
+    Output(Name, Vec<Name>),
+    /// `νb̃ āỹ.` — bound output; `bound ⊆ objects` are binders over the
+    /// continuation.
+    BoundOutput {
+        chan: Name,
+        objects: Vec<Name>,
+        bound: Vec<Name>,
+    },
+}
+
+impl Head {
+    /// The subject channel (`None` for `τ`).
+    pub fn subject(&self) -> Option<Name> {
+        match self {
+            Head::Tau => None,
+            Head::Input(a, _) | Head::Output(a, _) => Some(*a),
+            Head::BoundOutput { chan, .. } => Some(*chan),
+        }
+    }
+
+    pub fn is_input(&self) -> bool {
+        matches!(self, Head::Input(..))
+    }
+
+    pub fn is_output(&self) -> bool {
+        matches!(self, Head::Output(..) | Head::BoundOutput { .. })
+    }
+}
+
+/// The heads of a finite process, with their continuations.
+///
+/// # Panics
+/// Panics on `Call`/`Rec`/`Var` — Section 5 axiomatises the finite
+/// fragment only.
+pub fn heads(p: &P) -> Vec<(Head, P)> {
+    match &**p {
+        Process::Nil => Vec::new(),
+        Process::Act(pre, cont) => vec![match pre {
+            Prefix::Tau => (Head::Tau, cont.clone()),
+            Prefix::Input(a, xs) => (Head::Input(*a, xs.clone()), cont.clone()),
+            Prefix::Output(a, ys) => (Head::Output(*a, ys.clone()), cont.clone()),
+        }],
+        Process::Sum(l, r) => {
+            let mut out = heads(l);
+            out.extend(heads(r));
+            out
+        }
+        Process::Match(x, y, l, r) => {
+            // (C5)/(C4): conditions are concrete after collapsing.
+            heads(if x == y { l } else { r })
+        }
+        Process::New(x, cont) => heads(cont)
+            .into_iter()
+            .filter_map(|(h, c)| push_restriction(*x, h, c))
+            .collect(),
+        Process::Par(l, r) => expand_heads(l, r),
+        Process::Call(id, _) | Process::Var(id, _) => {
+            panic!("heads: {id} is not a finite process (Section 5 fragment)")
+        }
+        Process::Rec(def, _) => {
+            panic!(
+                "heads: rec {} is not a finite process (Section 5 fragment)",
+                def.ident
+            )
+        }
+    }
+}
+
+/// Pushes `νx` through one head (Table 7).
+fn push_restriction(x: Name, h: Head, cont: P) -> Option<(Head, P)> {
+    match h {
+        // (R3) for τ.
+        Head::Tau => Some((Head::Tau, Process::New(x, cont).rc())),
+        Head::Input(a, xs) => {
+            if a == x {
+                // (RP3): a restricted listener can never be spoken to.
+                None
+            } else if xs.contains(&x) {
+                // The binder shadows x: νx is vacuous past this prefix.
+                Some((Head::Input(a, xs), cont))
+            } else {
+                // (R3).
+                Some((Head::Input(a, xs), Process::New(x, cont).rc()))
+            }
+        }
+        Head::Output(a, ys) => {
+            if a == x {
+                // (RP2): broadcast on a restricted channel is a silent
+                // step — the paper's genuinely broadcast-specific axiom.
+                Some((Head::Tau, Process::New(x, cont).rc()))
+            } else if ys.contains(&x) {
+                // Scope extrusion: the restriction becomes part of the
+                // action (the ā(x) of the normal form).
+                Some((
+                    Head::BoundOutput {
+                        chan: a,
+                        objects: ys,
+                        bound: vec![x],
+                    },
+                    cont,
+                ))
+            } else {
+                // (R3).
+                Some((Head::Output(a, ys), Process::New(x, cont).rc()))
+            }
+        }
+        Head::BoundOutput {
+            chan,
+            objects,
+            bound,
+        } => {
+            if bound.contains(&x) {
+                // Shadowed by an inner extrusion; νx is vacuous.
+                Some((
+                    Head::BoundOutput {
+                        chan,
+                        objects,
+                        bound,
+                    },
+                    cont,
+                ))
+            } else if chan == x {
+                // (RP2) on an already-extruding output: the whole
+                // broadcast goes silent and the extruded names refold
+                // under the restriction (rule (6) of Table 3).
+                Some((
+                    Head::Tau,
+                    Process::New(x, new_many(bound.clone(), cont)).rc(),
+                ))
+            } else if objects.contains(&x) {
+                let mut bound = bound;
+                bound.push(x);
+                Some((
+                    Head::BoundOutput {
+                        chan,
+                        objects,
+                        bound,
+                    },
+                    cont,
+                ))
+            } else {
+                Some((
+                    Head::BoundOutput {
+                        chan,
+                        objects,
+                        bound,
+                    },
+                    Process::New(x, cont).rc(),
+                ))
+            }
+        }
+    }
+}
+
+/// Whether a head list is listening on `a` (has an input head with that
+/// subject) — the syntactic counterpart of `¬(p —a:→)`.
+fn listens(hs: &[(Head, P)], a: Name) -> bool {
+    hs.iter().any(|(h, _)| h.is_input() && h.subject() == Some(a))
+}
+
+/// Table 8: heads of `l ‖ r` from the heads of `l` and `r`, with
+/// conditions already concrete. Duplicate summands (arising from the two
+/// symmetric directions of joint reception — removable by (S2)) are
+/// deduplicated up to α-equivalence, which keeps nested expansions from
+/// blowing up exponentially.
+fn expand_heads(l: &P, r: &P) -> Vec<(Head, P)> {
+    let lh = heads(l);
+    let rh = heads(r);
+    let mut out = Vec::new();
+    one_side(&lh, &rh, l, r, true, &mut out);
+    one_side(&rh, &lh, r, l, false, &mut out);
+    dedup_heads(out)
+}
+
+/// Removes α-duplicate `(head, continuation)` summands, keyed by the
+/// α-canonical form of the reconstructed single-summand term.
+fn dedup_heads(hs: Vec<(Head, P)>) -> Vec<(Head, P)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (h, c) in hs {
+        let key = bpi_core::canon::canon(&reconstruct(std::slice::from_ref(&(h.clone(), c.clone()))));
+        if seen.insert(key) {
+            out.push((h, c));
+        }
+    }
+    out
+}
+
+fn assemble(left_first: bool, a: P, b: P) -> P {
+    if left_first {
+        par(a, b)
+    } else {
+        par(b, a)
+    }
+}
+
+/// Contributions where the *moving* side is `mh` (from process `m`) and
+/// the *other* side is `oh` (process `o`).
+fn one_side(
+    mh: &[(Head, P)],
+    oh: &[(Head, P)],
+    _m: &P,
+    o: &P,
+    moving_is_left: bool,
+    out: &mut Vec<(Head, P)>,
+) {
+    for (h, cont) in mh {
+        match h {
+            // Eighth/ninth summands: τ interleaves.
+            Head::Tau => out.push((Head::Tau, assemble(moving_is_left, cont.clone(), o.clone()))),
+            // First summand: joint reception; sixth/seventh: one side
+            // receives while the other discards.
+            Head::Input(a, xs) => {
+                let fresh: Vec<Name> = fresh_binders(xs);
+                let cont_f = Subst::parallel(xs, &fresh).apply_process(cont);
+                // Joint reception with every same-arity input of `o`.
+                for (h2, cont2) in oh {
+                    if let Head::Input(b, ys) = h2 {
+                        if *b == *a && ys.len() == xs.len() {
+                            let cont2_f = Subst::parallel(ys, &fresh).apply_process(cont2);
+                            out.push((
+                                Head::Input(*a, fresh.clone()),
+                                assemble(moving_is_left, cont_f.clone(), cont2_f),
+                            ));
+                        }
+                    }
+                }
+                if !listens(oh, *a) {
+                    out.push((
+                        Head::Input(*a, fresh.clone()),
+                        assemble(moving_is_left, cont_f, o.clone()),
+                    ));
+                }
+            }
+            // Second/third summands: output received by the other side;
+            // fourth/fifth: output with the other side discarding.
+            Head::Output(a, ys) => {
+                for (h2, cont2) in oh {
+                    if let Head::Input(b, xs) = h2 {
+                        if *b == *a && xs.len() == ys.len() {
+                            let received = Subst::parallel(xs, ys).apply_process(cont2);
+                            out.push((
+                                Head::Output(*a, ys.clone()),
+                                assemble(moving_is_left, cont.clone(), received),
+                            ));
+                        }
+                    }
+                }
+                if !listens(oh, *a) {
+                    out.push((
+                        Head::Output(*a, ys.clone()),
+                        assemble(moving_is_left, cont.clone(), o.clone()),
+                    ));
+                }
+            }
+            Head::BoundOutput {
+                chan,
+                objects,
+                bound,
+            } => {
+                // α-rename the extruded names away from the other side
+                // (the bn(α) ∩ fn(p₂) = ∅ side condition of rule (13)).
+                let fresh: Vec<Name> = bound.iter().map(|b| fresh_name(&b.spelling())).collect();
+                let ren = Subst::parallel(bound, &fresh);
+                let objects2: Vec<Name> = objects.iter().map(|&o2| ren.apply(o2)).collect();
+                let cont2 = ren.apply_process(cont);
+                for (h2, c2) in oh {
+                    if let Head::Input(b, xs) = h2 {
+                        if *b == *chan && xs.len() == objects2.len() {
+                            let received = Subst::parallel(xs, &objects2).apply_process(c2);
+                            out.push((
+                                Head::BoundOutput {
+                                    chan: *chan,
+                                    objects: objects2.clone(),
+                                    bound: fresh.clone(),
+                                },
+                                assemble(moving_is_left, cont2.clone(), received),
+                            ));
+                        }
+                    }
+                }
+                if !listens(oh, *chan) {
+                    out.push((
+                        Head::BoundOutput {
+                            chan: *chan,
+                            objects: objects2,
+                            bound: fresh,
+                        },
+                        assemble(moving_is_left, cont2, o.clone()),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn fresh_binders(xs: &[Name]) -> Vec<Name> {
+    fresh_names("j", xs.len())
+}
+
+/// Reconstructs a process from its heads: `Σᵢ αᵢ.pᵢ`. Together with
+/// [`heads`] this realises one layer of normalisation; the round trip
+/// `reconstruct(heads(p)) ~c p` is the executable soundness statement of
+/// the expansion law and the restriction axioms.
+pub fn reconstruct(hs: &[(Head, P)]) -> P {
+    use bpi_core::builder::{inp, new, out, sum_of, tau};
+    sum_of(hs.iter().map(|(h, c)| match h {
+        Head::Tau => tau(c.clone()),
+        Head::Input(a, xs) => inp(*a, xs.clone(), c.clone()),
+        Head::Output(a, ys) => out(*a, ys.clone(), c.clone()),
+        Head::BoundOutput {
+            chan,
+            objects,
+            bound,
+        } => bound
+            .iter()
+            .rev()
+            .fold(out(*chan, objects.clone(), c.clone()), |acc, b| {
+                new(*b, acc)
+            }),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpi_core::builder::*;
+
+    #[test]
+    fn heads_of_prefixes() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        let p = sum(out(a, [b], nil()), inp(a, [x], out_(x, [])));
+        let hs = heads(&p);
+        assert_eq!(hs.len(), 2);
+        assert!(hs[0].0.is_output());
+        assert!(hs[1].0.is_input());
+    }
+
+    #[test]
+    fn match_selects_concretely() {
+        let [a, b] = names(["a", "b"]);
+        let p = mat(a, a, out_(a, []), out_(b, []));
+        assert_eq!(heads(&p)[0].0, Head::Output(a, vec![]));
+        let q = mat(a, b, out_(a, []), out_(b, []));
+        assert_eq!(heads(&q)[0].0, Head::Output(b, vec![]));
+    }
+
+    #[test]
+    fn rp3_restricted_input_dies() {
+        let [a, x] = names(["a", "x"]);
+        let p = new(a, inp_(a, [x]));
+        assert!(heads(&p).is_empty());
+    }
+
+    #[test]
+    fn rp2_restricted_output_is_tau() {
+        let [a, b] = names(["a", "b"]);
+        let p = new(a, out(a, [b], out_(b, [])));
+        let hs = heads(&p);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].0, Head::Tau);
+    }
+
+    #[test]
+    fn extrusion_creates_bound_output_head() {
+        let [a, x] = names(["a", "x"]);
+        let p = new(x, out(a, [x], out_(x, [])));
+        let hs = heads(&p);
+        assert_eq!(hs.len(), 1);
+        match &hs[0].0 {
+            Head::BoundOutput { chan, bound, .. } => {
+                assert_eq!(*chan, a);
+                assert_eq!(bound, &vec![x]);
+            }
+            other => panic!("expected bound output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn par_broadcast_expansion_matches_semantics() {
+        // āv ‖ (a(x).x̄ ‖ a(y).ȳ): one output head whose continuation has
+        // both receivers fed.
+        let [a, v, x, y] = names(["a", "v", "x", "y"]);
+        let p = par(
+            out_(a, [v]),
+            par(inp(a, [x], out_(x, [])), inp(a, [y], out_(y, []))),
+        );
+        let hs = heads(&p);
+        let outs: Vec<_> = hs.iter().filter(|(h, _)| h.is_output()).collect();
+        assert_eq!(outs.len(), 1);
+        let (_, cont) = outs[0];
+        // Continuation ≡ nil ‖ (v̄ ‖ v̄).
+        let expected = par(nil(), par(out_(v, []), out_(v, [])));
+        assert!(bpi_core::alpha_eq(cont, &expected), "got {cont}");
+    }
+
+    #[test]
+    fn par_input_synchronises() {
+        // a(x).x̄ ‖ a(y).ȳc̄-ish: joint inputs only (neither discards a).
+        let [a, x, y, c] = names(["a", "x", "y", "c"]);
+        let p = par(inp(a, [x], out_(x, [])), inp(a, [y], out_(y, [c])));
+        let hs = heads(&p);
+        // One joint-input head (the symmetric duplicate is removed by
+        // α-dedup) — and no solo inputs, since neither side discards a.
+        assert!(hs.iter().all(|(h, _)| h.is_input()));
+        assert_eq!(hs.len(), 1);
+    }
+
+    #[test]
+    fn reconstruct_inverts_heads() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        let p = sum(out(a, [b], nil()), inp(a, [x], out_(x, [])));
+        let q = reconstruct(&heads(&p));
+        assert_eq!(heads(&q).len(), heads(&p).len());
+    }
+}

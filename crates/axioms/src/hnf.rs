@@ -1,0 +1,127 @@
+//! Head normal forms on a name set `V` (Definition 17 / Lemma 16).
+//!
+//! `hnf(p, V)` rewrites `p` into `Σᵢ φᵢ αᵢ.pᵢ` where each `φᵢ` is a
+//! *complete condition* on `V` (it fixes the equality pattern of all
+//! names in `V`) and `αᵢ` is a prefix. The construction enumerates the
+//! partitions of `V`; under each partition the conditions inside `p`
+//! evaluate away and the heads are concrete, so the summands are
+//! `cond(ρ)`-guarded reconstructions of `heads(p·collapse(ρ))`.
+//!
+//! Lemma 16 ("for each `p` and finite `V ⊇ fn(p)` there is an hnf `h` on
+//! `V` of no greater depth with `A ⊢ p = h`") is executable: we test
+//! `hnf(p, V) ~c p` and the depth bound.
+
+use crate::condition::Partition;
+use crate::heads::{heads, reconstruct};
+use bpi_core::builder::sum_of;
+use bpi_core::name::NameSet;
+use bpi_core::syntax::P;
+
+/// A head normal form, kept structured for inspection.
+#[derive(Clone, Debug)]
+pub struct Hnf {
+    /// One group per partition of `V`: the complete condition and the
+    /// guarded heads holding under it.
+    pub groups: Vec<(Partition, P)>,
+}
+
+impl Hnf {
+    /// The hnf as a process term: `Σ_ρ cond(ρ){ Σ heads }`.
+    pub fn to_process(&self) -> P {
+        sum_of(
+            self.groups
+                .iter()
+                .map(|(part, body)| part.condition().guard(body.clone())),
+        )
+    }
+
+    /// Maximum prefix depth across groups.
+    pub fn depth(&self) -> usize {
+        self.groups.iter().map(|(_, b)| b.depth()).max().unwrap_or(0)
+    }
+}
+
+/// Computes the head normal form of a finite `p` on `V ⊇ fn(p)`.
+///
+/// # Panics
+/// Panics if `V` does not cover `fn(p)` or `p` is not finite.
+pub fn hnf(p: &P, v: &NameSet) -> Hnf {
+    assert!(
+        p.free_names().iter().all(|n| v.contains(n)),
+        "hnf: V must contain fn(p)"
+    );
+    assert!(p.is_finite(), "hnf: finite processes only");
+    let groups = Partition::enumerate(v)
+        .into_iter()
+        .map(|part| {
+            let s = part.collapse();
+            let ps = s.apply_process(p);
+            let body = reconstruct(&heads(&ps));
+            (part, body)
+        })
+        .collect();
+    Hnf { groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::Prover;
+    use bpi_core::builder::*;
+
+    #[test]
+    fn hnf_is_congruent_to_original() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        let samples = vec![
+            out(a, [b], nil()),
+            sum(inp(a, [x], out_(x, [])), tau(out_(b, []))),
+            par(out_(a, [b]), inp(a, [x], out_(x, []))),
+            new(x, out(a, [x], out_(x, []))),
+            mat(a, b, out_(a, []), out_(b, [])),
+        ];
+        for p in samples {
+            let v = p.free_names();
+            let h = hnf(&p, &v).to_process();
+            assert!(
+                Prover::new().congruent(&p, &h),
+                "hnf broke {p}  ↦  {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn hnf_groups_cover_all_partitions() {
+        let [a, b] = names(["a", "b"]);
+        let p = mat(a, b, out_(a, []), out_(b, []));
+        let h = hnf(&p, &p.free_names());
+        assert_eq!(h.groups.len(), 2, "two partitions of {{a,b}}");
+        // Under the merged partition, the match takes its then-branch.
+        let merged = h
+            .groups
+            .iter()
+            .find(|(part, _)| part.blocks.len() == 1)
+            .unwrap();
+        assert_eq!(crate::heads::heads(&merged.1).len(), 1);
+    }
+
+    #[test]
+    fn hnf_depth_does_not_grow() {
+        // Lemma 16's depth bound, on sequential samples (expansion of ‖
+        // legitimately sums depths, so we check the sequential fragment).
+        let [a, b, x] = names(["a", "b", "x"]);
+        let samples = vec![
+            sum(out(a, [b], out_(b, [])), inp(a, [x], nil())),
+            mat(a, b, tau(tau_()), out_(a, [])),
+            new(x, out(a, [x], out_(x, []))),
+        ];
+        for p in samples {
+            let h = hnf(&p, &p.free_names());
+            assert!(
+                h.depth() <= p.depth(),
+                "depth grew: {} -> {} for {p}",
+                p.depth(),
+                h.depth()
+            );
+        }
+    }
+}

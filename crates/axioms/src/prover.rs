@@ -1,0 +1,497 @@
+//! The normal-form decision procedure for strong congruence `~c` over
+//! finite processes — the executable content of Theorems 6 and 7.
+//!
+//! Following the structure of the completeness proof:
+//!
+//! 1. `~c` quantifies over all substitutions; by Lemmas 17–18 it
+//!    suffices to consider the collapsing substitution of each partition
+//!    of the free names (the *complete conditions* of the head normal
+//!    form).
+//! 2. Under each collapse, both sides are compared head-by-head
+//!    ([`crate::heads`] provides the heads via the Table 7/8 rewrites):
+//!    * `τ` and free outputs match on equal labels, continuations
+//!      compared recursively;
+//!    * bound outputs match up to renaming of the extruded names
+//!      (which are kept distinct from every free name, clause 4 of the
+//!      normal-form definition);
+//!    * inputs are compared **pointwise over instantiations** of the
+//!      received names (free names plus one fresh representative) — the
+//!      saturation performed by axiom (SP);
+//!    * below the first step, an input may also be matched by the other
+//!      side *discarding* — the saturation performed by the noisy axiom
+//!      (H). At the outermost step matching is strict, which is exactly
+//!      the gap between `~` and `~₊` that (H) fills.
+//!
+//! Setting [`Prover::use_noisy`] to `false` removes the (H)-saturation
+//! and makes the procedure incomplete — demonstrating the independence
+//! of the axiom (experiment E17).
+
+use crate::condition::Partition;
+use crate::heads::{heads, Head};
+use bpi_core::canon::canon;
+use bpi_core::name::{Name, NameSet};
+use bpi_core::subst::Subst;
+use bpi_core::syntax::P;
+use std::collections::HashMap;
+
+/// Normal-form prover for `~c` on finite processes.
+pub struct Prover {
+    /// Enable the noisy-axiom (H) saturation (default). Without it the
+    /// procedure is sound but incomplete.
+    pub use_noisy: bool,
+    memo: HashMap<(P, P, bool), bool>,
+    /// When tracing, the justification log (and memoisation is disabled
+    /// so every step is recorded).
+    trace: Option<Vec<String>>,
+    depth: usize,
+}
+
+/// One entry of a justification trace (see [`Prover::congruent_traced`]).
+pub type TraceLine = String;
+
+impl Default for Prover {
+    fn default() -> Prover {
+        Prover::new()
+    }
+}
+
+impl Prover {
+    pub fn new() -> Prover {
+        Prover {
+            use_noisy: true,
+            memo: HashMap::new(),
+            trace: None,
+            depth: 0,
+        }
+    }
+
+    pub fn without_noisy() -> Prover {
+        Prover {
+            use_noisy: false,
+            memo: HashMap::new(),
+            trace: None,
+            depth: 0,
+        }
+    }
+
+    fn log(&mut self, msg: impl FnOnce() -> String) {
+        if let Some(t) = &mut self.trace {
+            let indent = "  ".repeat(self.depth.min(12));
+            t.push(format!("{indent}{}", msg()));
+        }
+    }
+
+    /// Like [`Prover::congruent`], but records which axiom families
+    /// justified each matching step — the skeleton of an `A`-derivation
+    /// per Theorem 7's proof: `(C*)` complete-condition case split,
+    /// `(S*)` summand matching, `(SP)` per-value input saturation,
+    /// `(H)` noisy discard-matching, α for bound-output representatives.
+    /// Memoisation is disabled while tracing so the log is complete.
+    pub fn congruent_traced(&mut self, p: &P, q: &P) -> (bool, Vec<TraceLine>) {
+        self.trace = Some(Vec::new());
+        self.memo.clear();
+        let verdict = self.congruent(p, q);
+        let log = self.trace.take().unwrap_or_default();
+        (verdict, log)
+    }
+
+    /// Decides `p ~c q` for finite `p`, `q` (Theorems 6 + 7: the
+    /// axioms prove exactly the congruent pairs; this procedure is the
+    /// normal-form comparison at the heart of that proof).
+    ///
+    /// ```
+    /// use bpi_core::parse_process;
+    /// use bpi_axioms::Prover;
+    /// // The noisy axiom (H): a deaf process may be given an ear.
+    /// let lhs = parse_process("a<>.b<>").unwrap();
+    /// let rhs = parse_process("a<>.(b<> + c(x).b<>)").unwrap();
+    /// assert!(Prover::new().congruent(&lhs, &rhs));
+    /// assert!(!Prover::without_noisy().congruent(&lhs, &rhs));
+    /// ```
+    pub fn congruent(&mut self, p: &P, q: &P) -> bool {
+        assert!(
+            p.is_finite() && q.is_finite(),
+            "the Section 5 axiomatisation covers finite processes only"
+        );
+        let fns = p.free_names().union(&q.free_names());
+        for part in Partition::enumerate(&fns) {
+            let s = part.collapse();
+            let ps = s.apply_process(p);
+            let qs = s.apply_process(q);
+            self.log(|| format!("(C3/C5) complete condition {}", part.condition()));
+            // Outermost step strict (the `~₊` layer of Definition 11).
+            if !self.decide(&ps, &qs, true) {
+                self.log(|| "  ✗ refuted under this condition".to_string());
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Decides the bisimulation layer: `p ~ q` for concrete names
+    /// (conditions already collapsed). `strict` disables discard-matching
+    /// of inputs for this step only.
+    fn decide(&mut self, p: &P, q: &P, strict: bool) -> bool {
+        let key = (canon(p), canon(q), strict);
+        if self.trace.is_none() {
+            if let Some(&r) = self.memo.get(&key) {
+                return r;
+            }
+        }
+        // Optimistically assume equal to cut trivial syntactic loops —
+        // finite processes cannot actually recurse, so any entry is
+        // resolved before reuse; insert after computing instead.
+        let hp = heads(p);
+        let hq = heads(q);
+        self.depth += 1;
+        let r = self.match_dir(&hp, &hq, q, strict)
+            && self.match_dir(&hq, &hp, p, strict);
+        self.depth -= 1;
+        self.memo.insert(key, r);
+        r
+    }
+
+    /// Every head of `hp` is matched by some head of `hq` (whose whole
+    /// process is `q_whole`, needed for discard-matching).
+    fn match_dir(
+        &mut self,
+        hp: &[(Head, P)],
+        hq: &[(Head, P)],
+        q_whole: &P,
+        strict: bool,
+    ) -> bool {
+        for (h, cont) in hp {
+            let ok = match h {
+                Head::Tau => {
+                    let m = hq
+                        .iter()
+                        .any(|(h2, c2)| matches!(h2, Head::Tau) && self.decide(cont, c2, false));
+                    if m {
+                        self.log(|| "(S*) τ summand matched".to_string());
+                    }
+                    m
+                }
+                Head::Output(a, ys) => {
+                    let m = hq.iter().any(|(h2, c2)| {
+                        matches!(h2, Head::Output(b, zs) if b == a && zs == ys)
+                            && self.decide(cont, c2, false)
+                    });
+                    if m {
+                        self.log(|| format!("(S*) output summand on {a} matched exactly"));
+                    }
+                    m
+                }
+                Head::BoundOutput {
+                    chan,
+                    objects,
+                    bound,
+                } => {
+                    let (pat1, cont1) = bound_pattern(*chan, objects, bound, cont);
+                    let m = hq.iter().any(|(h2, c2)| {
+                        if let Head::BoundOutput {
+                            chan: chan2,
+                            objects: objects2,
+                            bound: bound2,
+                        } = h2
+                        {
+                            let (pat2, cont2) = bound_pattern(*chan2, objects2, bound2, c2);
+                            pat1 == pat2 && self.decide(&cont1, &cont2, false)
+                        } else {
+                            false
+                        }
+                    });
+                    if m {
+                        self.log(|| {
+                            format!("(A) bound output on {chan} matched up to α of the extruded names")
+                        });
+                    }
+                    m
+                }
+                Head::Input(a, xs) => {
+                    let q_listens = hq
+                        .iter()
+                        .any(|(h2, _)| h2.is_input() && h2.subject() == Some(*a));
+                    // Candidate values: all free names in play plus one
+                    // fresh representative per binder position.
+                    let mut fns = cont.free_names().union(&q_whole.free_names());
+                    fns.insert(*a);
+                    let values = value_pool(&fns);
+                    let tuples = tuple_space(&values, xs.len());
+                    tuples.into_iter().all(|tuple| {
+                        let inst = Subst::parallel(xs, &tuple).apply_process(cont);
+                        // (SP): per-value choice among q's receipts.
+                        let real = hq
+                            .iter()
+                            .map(|hc| (hc.0.clone(), hc.1.clone()))
+                            .collect::<Vec<_>>()
+                            .into_iter()
+                            .any(|(h2, c2)| {
+                                if let Head::Input(b, zs) = h2 {
+                                    b == *a && zs.len() == xs.len() && {
+                                        let inst2 =
+                                            Subst::parallel(&zs, &tuple).apply_process(&c2);
+                                        self.decide(&inst, &inst2, false)
+                                    }
+                                } else {
+                                    false
+                                }
+                            });
+                        if real {
+                            self.log(|| {
+                                format!(
+                                    "(SP) input on {a} matched for values ⟨{}⟩",
+                                    tuple.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
+                                )
+                            });
+                            return true;
+                        }
+                        // (H): if q is deaf on a, receiving leaves q
+                        // untouched.
+                        let noisy = self.use_noisy
+                            && !strict
+                            && !q_listens
+                            && self.decide(&inst, q_whole, false);
+                        if noisy {
+                            self.log(|| {
+                                format!("(H) input on {a} matched by the deaf side's discard")
+                            });
+                        }
+                        noisy
+                    })
+                }
+            };
+            if !ok {
+                self.log(|| format!("✗ unmatched summand: {h:?}"));
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Renames the bound names of a bound output to positional markers so
+/// that two bound outputs are comparable; returns the normalised
+/// `(chan, objects)` pattern and the renamed continuation.
+fn bound_pattern(chan: Name, objects: &[Name], bound: &[Name], cont: &P) -> ((Name, Vec<Name>), P) {
+    let mut s = Subst::identity();
+    for (i, &b) in bound.iter().enumerate() {
+        s.bind(b, Name::intern_raw(&format!("#B{i}")));
+    }
+    let objs: Vec<Name> = objects.iter().map(|&o| s.apply(o)).collect();
+    ((chan, objs), s.apply_process(cont))
+}
+
+/// Free names plus one deterministic fresh representative.
+fn value_pool(fns: &NameSet) -> Vec<Name> {
+    let mut out = fns.to_vec();
+    let mut i = 0usize;
+    loop {
+        let w = Name::intern_raw(&format!("#v{i}"));
+        if !fns.contains(w) {
+            out.push(w);
+            return out;
+        }
+        i += 1;
+    }
+}
+
+fn tuple_space(values: &[Name], arity: usize) -> Vec<Vec<Name>> {
+    bpi_semantics::tuples(values, arity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpi_core::builder::*;
+
+    fn prove(p: &P, q: &P) -> bool {
+        Prover::new().congruent(p, q)
+    }
+
+    #[test]
+    fn structural_laws_prove() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        let p = sum(out(a, [b], nil()), inp_(a, [x]));
+        // S1: p + nil = p
+        assert!(prove(&sum(p.clone(), nil()), &p));
+        // S2: p + p = p
+        assert!(prove(&sum(p.clone(), p.clone()), &p));
+        // S3: commutativity
+        let q = tau_();
+        assert!(prove(&sum(p.clone(), q.clone()), &sum(q.clone(), p.clone())));
+        // S4: associativity
+        let r = out_(b, []);
+        assert!(prove(
+            &sum(sum(p.clone(), q.clone()), r.clone()),
+            &sum(p.clone(), sum(q.clone(), r.clone()))
+        ));
+        // P1: p ‖ nil = p
+        assert!(prove(&par(p.clone(), nil()), &p));
+    }
+
+    #[test]
+    fn outputs_with_different_objects_differ() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        assert!(!prove(&out_(a, [b]), &out_(a, [c])));
+        // …but they coincide under the identification b = c, so a
+        // *matched* pair is congruent:
+        let p = mat(b, c, out_(a, [b]), nil());
+        let q = mat(b, c, out_(a, [c]), nil());
+        assert!(prove(&p, &q), "(CP2): (b=c)āb = (b=c)āc");
+    }
+
+    #[test]
+    fn match_witness_not_congruent() {
+        // (x=y)c̄ vs nil: bisimilar literally, separated by ~c.
+        let [x, y, c] = names(["x", "y", "c"]);
+        let p = mat_(x, y, out_(c, []));
+        assert!(!prove(&p, &nil()));
+    }
+
+    #[test]
+    fn inputs_not_congruent_to_nil() {
+        // a(x) ≁c nil at the strict first step.
+        let [a, x] = names(["a", "x"]);
+        assert!(!prove(&inp_(a, [x]), &nil()));
+    }
+
+    #[test]
+    fn noisy_axiom_under_prefix() {
+        // (H): ā.b̄ ~c ā.(b̄ + a(x).b̄) — provable with noisy matching,
+        // not without.
+        let [a, b, x] = names(["a", "b", "x"]);
+        let lhs = out(a, [], out_(b, []));
+        let rhs = out(a, [], sum(out_(b, []), inp(a, [x], out_(b, []))));
+        assert!(Prover::new().congruent(&lhs, &rhs), "(H) instance");
+        assert!(
+            !Prover::without_noisy().congruent(&lhs, &rhs),
+            "without (H) the instance is unprovable — independence of (H)"
+        );
+    }
+
+    #[test]
+    fn sp_saturation_instance() {
+        // (SP): a(x).p + a(x).q = a(x).p + a(x).q + a(x).((x=y)p,q).
+        let [a, x, y] = names(["a", "x", "y"]);
+        let p = out_(x, []);
+        let q = out_(y, [x]);
+        let lhs = sum(inp(a, [x], p.clone()), inp(a, [x], q.clone()));
+        let rhs = sum(
+            lhs.clone(),
+            inp(a, [x], mat(x, y, p.clone(), q.clone())),
+        );
+        assert!(prove(&lhs, &rhs));
+    }
+
+    #[test]
+    fn restriction_laws_prove() {
+        let [a, b, x, y] = names(["a", "b", "x", "y"]);
+        // R1: νxνy p = νyνx p
+        let p = out(a, [], out_(b, []));
+        assert!(prove(
+            &new(x, new(y, p.clone())),
+            &new(y, new(x, p.clone()))
+        ));
+        // R2: νx(p+q) = νxp + νxq
+        let q = tau(out_(a, []));
+        assert!(prove(
+            &new(x, sum(p.clone(), q.clone())),
+            &sum(new(x, p.clone()), new(x, q.clone()))
+        ));
+        // RP2: νx x̄y.p = τ.νx p
+        assert!(prove(
+            &new(x, out(x, [y], p.clone())),
+            &tau(new(x, p.clone()))
+        ));
+        // RP3: νx x(y).p = nil
+        assert!(prove(&new(x, inp(x, [y], p.clone())), &nil()));
+        // RM1: νx (x=y)p = nil for x ≠ y
+        assert!(prove(&new(x, mat_(x, y, p.clone())), &nil()));
+        // R3: x ∉ n(α): νx ā.p = ā.νx p
+        assert!(prove(
+            &new(x, out(a, [], p.clone())),
+            &out(a, [], new(x, p.clone()))
+        ));
+    }
+
+    #[test]
+    fn broadcast_vs_interleaving() {
+        // ā ‖ a().c̄ expands to ā.(nil‖c̄) + a().(ā‖c̄): the broadcast
+        // feeds the listener atomically (first summand) and the system
+        // also remains receptive to an *external* broadcast on a (second
+        // summand — the non-blocking essence of broadcast).
+        let [a, c] = names(["a", "c"]);
+        let sys = par(out_(a, []), inp(a, [], out_(c, [])));
+        let expanded = sum(
+            out(a, [], par(nil(), out_(c, []))),
+            inp(a, [], par(out_(a, []), out_(c, []))),
+        );
+        assert!(prove(&sys, &expanded));
+        // It is NOT congruent to the handshake reading ā.c̄ (which is
+        // deaf on a).
+        assert!(!prove(&sys, &out(a, [], out_(c, []))));
+        // But restricting a closes the system, and then they do agree up
+        // to the silent step: νa(ā ‖ a().c̄) ~c τ.νa(nil ‖ c̄) ~c τ.c̄.
+        let closed = new(a, sys);
+        assert!(prove(&closed, &tau(out_(c, []))));
+    }
+
+    #[test]
+    fn bound_output_congruence() {
+        // νx āx.x̄ ~c νy āy.ȳ (alpha) and ≁c νy āy (continuations differ).
+        let [a, x, y] = names(["a", "x", "y"]);
+        let p = new(x, out(a, [x], out_(x, [])));
+        let q = new(y, out(a, [y], out_(y, [])));
+        assert!(prove(&p, &q));
+        let r = new(y, out_(a, [y]));
+        assert!(!prove(&p, &r));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use bpi_core::builder::*;
+
+    #[test]
+    fn trace_names_the_axiom_families() {
+        let [a, b, c, x] = names(["a", "b", "c", "x"]);
+        // A noisy instance: the trace must mention (H) and the complete
+        // conditions.
+        let lhs = out(a, [], out_(b, []));
+        let rhs = out(a, [], sum(out_(b, []), inp(c, [x], out_(b, []))));
+        let (ok, log) = Prover::new().congruent_traced(&lhs, &rhs);
+        assert!(ok);
+        let text = log.join("\n");
+        assert!(text.contains("(C3/C5)"), "missing condition layer:\n{text}");
+        assert!(text.contains("(H)"), "missing noisy step:\n{text}");
+        assert!(text.contains("output summand on a"), "missing output step:\n{text}");
+    }
+
+    #[test]
+    fn trace_reports_refutation() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        let (ok, log) = Prover::new().congruent_traced(&out_(a, [b]), &out_(a, [c]));
+        assert!(!ok);
+        let text = log.join("\n");
+        assert!(text.contains("✗"), "no refutation marker:\n{text}");
+    }
+
+    #[test]
+    fn tracing_does_not_change_verdicts() {
+        use crate::rewrite::{Blocks, ALL_AXIOMS};
+        let [a, b, c] = names(["a", "b", "c"]);
+        let w = Name::intern_raw("tw");
+        let blocks = Blocks {
+            ps: vec![out(a, [b], nil()), inp(b, [w], out_(w, [])), tau(out_(c, []))],
+            ns: vec![a, b, c],
+        };
+        for ax in ALL_AXIOMS {
+            if let Some((lhs, rhs)) = ax.instantiate(&blocks) {
+                let plain = Prover::new().congruent(&lhs, &rhs);
+                let (traced, _) = Prover::new().congruent_traced(&lhs, &rhs);
+                assert_eq!(plain, traced, "{ax:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! B2 — bisimilarity checking across the six variants.
+//!
+//! Series: each variant against the same scaling family — sums of
+//! broadcast sequences compared against their commuted shuffles
+//! (positive instances; worst case for refinement, since the full pair
+//! table survives to the end).
+
+use bpi_core::builder::*;
+use bpi_core::syntax::{Defs, P};
+use bpi_equiv::{Checker, Variant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A positive pair of size ~n: nested sums of output chains, one side
+/// commuted.
+fn scaled_pair(n: usize) -> (P, P) {
+    let [a, b, c] = names(["a", "b", "c"]);
+    let mut p = nil();
+    let mut q = nil();
+    for i in 0..n {
+        let ch = [a, b, c][i % 3];
+        let leaf_p = out(ch, [], tau(out_(ch, [])));
+        let leaf_q = out(ch, [], tau(out_(ch, [])));
+        p = sum(leaf_p, p);
+        q = sum(q, leaf_q); // commuted association
+    }
+    (p, q)
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let defs = Defs::new();
+    let checker = Checker::new(&defs);
+    let (p, q) = scaled_pair(4);
+    let mut group = c.benchmark_group("bisim/variants-n4");
+    for v in [
+        Variant::StrongBarbed,
+        Variant::WeakBarbed,
+        Variant::StrongStep,
+        Variant::WeakStep,
+        Variant::StrongLabelled,
+        Variant::WeakLabelled,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{v:?}")), &v, |b, v| {
+            b.iter(|| {
+                assert!(checker.bisimilar(*v, std::hint::black_box(&p), std::hint::black_box(&q)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let defs = Defs::new();
+    let checker = Checker::new(&defs);
+    let mut group = c.benchmark_group("bisim/strong-labelled-scaling");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let (p, q) = scaled_pair(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| assert!(checker.strong(std::hint::black_box(&p), std::hint::black_box(&q))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_negative_instances(c: &mut Criterion) {
+    // Negative pairs usually resolve faster (the refinement collapses):
+    // measure the paper's counterexample pairs.
+    let defs = Defs::new();
+    let checker = Checker::new(&defs);
+    let [a, b, cc] = names(["a", "b", "c"]);
+    let pairs: Vec<(&str, P, P)> = vec![
+        ("objects-differ", out_(a, [b]), out_(a, [cc])),
+        (
+            "choice-vs-prefix",
+            out(a, [], sum(out_(b, []), out_(cc, []))),
+            sum(out(a, [], out_(b, [])), out(a, [], out_(cc, []))),
+        ),
+    ];
+    let mut group = c.benchmark_group("bisim/negatives");
+    for (name, p, q) in pairs {
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                assert!(!checker.strong(std::hint::black_box(&p), std::hint::black_box(&q)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_congruence(c: &mut Criterion) {
+    // The ∀σ layer: Bell-number blowup in the number of free names.
+    let defs = Defs::new();
+    let mut group = c.benchmark_group("bisim/congruence-free-names");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let chans: Vec<_> = (0..n)
+            .map(|i| bpi_core::Name::intern_raw(&format!("cg{i}")))
+            .collect();
+        let p = par_of(chans.iter().map(|&ch| out_(ch, [])));
+        let q = par(p.clone(), nil());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                assert!(bpi_equiv::congruent_strong(
+                    std::hint::black_box(&p),
+                    std::hint::black_box(&q),
+                    &defs,
+                    bpi_equiv::Opts::default()
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = bpi_bench::criterion();
+    targets = bench_variants,
+    bench_scaling,
+    bench_negative_instances,
+    bench_congruence
+
+}
+criterion_main!(benches);

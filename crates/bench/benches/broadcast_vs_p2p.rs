@@ -1,0 +1,103 @@
+//! B4 — broadcast vs point-to-point multicast emulation.
+//!
+//! The paper's introduction argues broadcast is the more abstract
+//! primitive: "processes may interact without having explicit knowledge
+//! of each other" and encoding broadcast over point-to-point is
+//! impossible uniformly ([3]). This bench quantifies the asymmetry on
+//! the executable side:
+//!
+//! * `broadcast/N` — native 1→N delivery: one transition, sender cost
+//!   independent of N;
+//! * `p2p-emulation/N` — the same fan-out through the π-style encoding
+//!   (one lock handshake per receiver, sender repeated N times):
+//!   transitions grow linearly, and the whole delivery takes Θ(N)
+//!   broadcasts.
+//!
+//! The *shape* to expect: constant-ish per-step cost and 1 delivery
+//! step for native broadcast vs linear step count for the emulation.
+
+use bpi_bench::fanout_system;
+use bpi_core::builder::*;
+use bpi_core::syntax::{Defs, P};
+use bpi_semantics::{Lts, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// π-style emulation of 1→N multicast: the sender performs N sequential
+/// lock-handshake unicasts (as the uniform π encoding would), each
+/// receiver takes exactly one.
+fn p2p_emulation(n: usize) -> P {
+    let [a, v] = names(["a", "v"]);
+    // Sender: νl (ā⟨v,l⟩ ‖ l(w). …) repeated n times sequentially.
+    let mut sender = nil();
+    for i in 0..n {
+        let l = bpi_core::Name::intern_raw(&format!("lk{i}"));
+        let w = bpi_core::Name::intern_raw("lw");
+        sender = new(l, par(out_(a, [v, l]), inp(l, [w], sender)));
+    }
+    // Receivers: one-shot claimants.
+    let receivers = (0..n).map(|i| {
+        let x = bpi_core::Name::intern_raw("rx");
+        let l = bpi_core::Name::intern_raw("rl");
+        let m = bpi_core::Name::intern_raw(&format!("rm{i}"));
+        let o = bpi_core::Name::intern_raw("ro");
+        inp(
+            a,
+            [x, l],
+            sum(new(m, out(l, [m], out_(x, []))), inp_(l, [o])),
+        )
+    });
+    par_of(std::iter::once(sender).chain(receivers))
+}
+
+fn bench_first_step_cost(c: &mut Criterion) {
+    let defs = Defs::new();
+    let lts = Lts::new(&defs);
+    let mut group = c.benchmark_group("fanout/first-step");
+    for n in [1usize, 4, 16] {
+        let native = fanout_system(n);
+        group.bench_with_input(BenchmarkId::new("broadcast", n), &native, |b, p| {
+            b.iter(|| lts.step_transitions(std::hint::black_box(p)))
+        });
+        let emu = p2p_emulation(n);
+        group.bench_with_input(BenchmarkId::new("p2p-emulation", n), &emu, |b, p| {
+            b.iter(|| lts.step_transitions(std::hint::black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_delivery(c: &mut Criterion) {
+    // Steps until every receiver has been served, under a random
+    // scheduler: broadcast = Θ(1) delivery steps; emulation = Θ(N)
+    // handshakes of several steps each.
+    let defs = Defs::new();
+    let mut group = c.benchmark_group("fanout/full-delivery");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let native = fanout_system(n);
+        group.bench_with_input(BenchmarkId::new("broadcast", n), &native, |b, p| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&defs, 7);
+                let tr = sim.run(std::hint::black_box(p), 10_000);
+                assert!(tr.terminated);
+                tr.actions.len()
+            })
+        });
+        let emu = p2p_emulation(n);
+        group.bench_with_input(BenchmarkId::new("p2p-emulation", n), &emu, |b, p| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&defs, 7);
+                let tr = sim.run(std::hint::black_box(p), 10_000);
+                tr.actions.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = bpi_bench::criterion();
+    targets = bench_first_step_cost, bench_full_delivery
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! B6 — the paper's worked examples end-to-end vs their direct Rust
+//! baselines.
+//!
+//! The expected shape: the native baselines are orders of magnitude
+//! faster (they skip the calculus entirely) — the value of the encoding
+//! is expressiveness, not speed — while the calculus-side cost grows
+//! with the interleaving, not with the data.
+
+use bpi_core::syntax::Defs;
+use bpi_encodings::cycle::{
+    detect_by_exploration, edge_managers_system, has_cycle_dfs, Graph,
+};
+use bpi_encodings::ram::{interpret, program_add, run_ram};
+use bpi_encodings::transactions::{
+    detection_system, is_inconsistent_baseline, random_history,
+};
+use bpi_semantics::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cycle_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("examples/cycle-detection");
+    group.sample_size(10);
+    let cases = [
+        ("chain3", Graph::new(&[("a", "b"), ("b", "c")])),
+        ("triangle", Graph::new(&[("a", "b"), ("b", "c"), ("c", "a")])),
+        (
+            "diamond",
+            Graph::new(&[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]),
+        ),
+    ];
+    for (name, g) in &cases {
+        group.bench_with_input(BenchmarkId::new("distributed", name), g, |b, g| {
+            b.iter(|| detect_by_exploration(std::hint::black_box(g), 500_000).0)
+        });
+        group.bench_with_input(BenchmarkId::new("dfs-baseline", name), g, |b, g| {
+            b.iter(|| has_cycle_dfs(std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_simulation_step(c: &mut Criterion) {
+    // Per-step simulation cost of the running detector system.
+    let defs = Defs::new();
+    let g = Graph::new(&[("a", "b"), ("b", "c"), ("c", "a")]);
+    let (sys, _, _) = edge_managers_system(&g);
+    c.bench_function("examples/cycle-sim-100-steps", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&defs, 3);
+            sim.run(std::hint::black_box(&sys), 100).actions.len()
+        })
+    });
+}
+
+fn bench_transactions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("examples/transactions");
+    group.sample_size(10);
+    for n_tx in [2usize, 3] {
+        let h = random_history(42, n_tx, 2, 2);
+        group.bench_with_input(BenchmarkId::new("baseline", n_tx), &h, |b, h| {
+            b.iter(|| is_inconsistent_baseline(std::hint::black_box(h)))
+        });
+        group.bench_with_input(BenchmarkId::new("distributed-200-steps", n_tx), &h, |b, h| {
+            b.iter(|| {
+                let (sys, defs, _err) = detection_system(std::hint::black_box(h));
+                let mut sim = Simulator::new(&defs, 5);
+                sim.run(&sys, 200).actions.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("examples/ram-add");
+    group.sample_size(10);
+    for n in [2u64, 4] {
+        group.bench_with_input(BenchmarkId::new("encoded", n), &n, |b, &n| {
+            b.iter(|| run_ram(&program_add(), &[n, n], 0, 60_000).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("interpreter", n), &n, |b, &n| {
+            b.iter(|| interpret(&program_add(), &[n, n], 10_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = bpi_bench::criterion();
+    targets = bench_cycle_detection,
+    bench_cycle_simulation_step,
+    bench_transactions,
+    bench_ram
+
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! B1 — transition-derivation throughput.
+//!
+//! Series:
+//! * `step/fanout-N` — one broadcast reaching N listeners atomically:
+//!   the cost of rule (13)'s all-receivers composition;
+//! * `step/interleave-N` — N independent τ-chains: pure interleaving;
+//! * `receives/depth-N` — input derivation through nested restrictions;
+//! * `discard/width-N` — the Table 2 relation over wide sums.
+
+use bpi_bench::fanout_system;
+use bpi_core::builder::*;
+use bpi_core::syntax::Defs;
+use bpi_semantics::{discards, Lts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fanout(c: &mut Criterion) {
+    let defs = Defs::new();
+    let lts = Lts::new(&defs);
+    let mut group = c.benchmark_group("lts/step-fanout");
+    for n in [1usize, 4, 16, 64] {
+        let sys = fanout_system(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, sys| {
+            b.iter(|| lts.step_transitions(std::hint::black_box(sys)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleave(c: &mut Criterion) {
+    let defs = Defs::new();
+    let lts = Lts::new(&defs);
+    let mut group = c.benchmark_group("lts/step-interleave");
+    for n in [2usize, 8, 32] {
+        let sys = par_of((0..n).map(|_| tau(tau_())));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, sys| {
+            b.iter(|| lts.step_transitions(std::hint::black_box(sys)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_receives_depth(c: &mut Criterion) {
+    let defs = Defs::new();
+    let lts = Lts::new(&defs);
+    let [a, v, x] = names(["a", "v", "x"]);
+    let mut group = c.benchmark_group("lts/receives-depth");
+    for n in [1usize, 8, 32] {
+        // νy₁…νyₙ a(x).x̄ — input under n restrictions.
+        let binders: Vec<_> = (0..n)
+            .map(|i| bpi_core::Name::intern_raw(&format!("ry{i}")))
+            .collect();
+        let p = new_many(binders, inp(a, [x], out_(x, [])));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| lts.receives(std::hint::black_box(p), a, &[v]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_discard_width(c: &mut Criterion) {
+    let defs = Defs::new();
+    let [a, b, x] = names(["a", "b", "x"]);
+    let mut group = c.benchmark_group("lts/discard-width");
+    for n in [4usize, 32, 128] {
+        let p = sum_of((0..n).map(|_| inp(b, [x], out_(x, []))));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |bch, p| {
+            bch.iter(|| discards(std::hint::black_box(p), a, &defs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = bpi_bench::criterion();
+    targets = bench_fanout,
+    bench_interleave,
+    bench_receives_depth,
+    bench_discard_width
+
+}
+criterion_main!(benches);

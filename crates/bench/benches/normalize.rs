@@ -1,0 +1,107 @@
+//! B3 — the Section 5 machinery: head computation, head normal forms,
+//! the symbolic expansion law, and the full normal-form prover.
+
+use bpi_axioms::{expand_symbolic, heads, hnf, normalize_deep, Prover};
+use bpi_core::builder::*;
+use bpi_core::syntax::P;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn deep_term(depth: usize) -> P {
+    let [a, b, x] = names(["a", "b", "x"]);
+    let mut p = nil();
+    for i in 0..depth {
+        p = match i % 3 {
+            0 => out(a, [b], p),
+            1 => inp(a, [x], p),
+            _ => sum(tau(p.clone()), p),
+        };
+    }
+    p
+}
+
+fn bench_heads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize/heads-depth");
+    for n in [4usize, 8, 12] {
+        let p = deep_term(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| heads(std::hint::black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalize_deep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize/deep");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let p = deep_term(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| normalize_deep(std::hint::black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hnf_partitions(c: &mut Criterion) {
+    // hnf enumerates partitions of V: Bell-number growth.
+    let mut group = c.benchmark_group("normalize/hnf-free-names");
+    group.sample_size(10);
+    for n in [1usize, 2, 3, 4] {
+        let chans: Vec<_> = (0..n)
+            .map(|i| bpi_core::Name::intern_raw(&format!("hn{i}")))
+            .collect();
+        let p = sum_of(chans.iter().map(|&ch| out(ch, [], tau_())));
+        let v = p.free_names();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| hnf(std::hint::black_box(p), &v))
+        });
+    }
+    group.finish();
+}
+
+fn bench_expansion_blowup(c: &mut Criterion) {
+    // Table 8 over k-way parallel sums: the summand count grows
+    // multiplicatively — the classic expansion blowup, now with
+    // broadcast's extra receive/discard split.
+    let [a, x] = names(["a", "x"]);
+    let mut group = c.benchmark_group("normalize/expansion");
+    for k in [2usize, 4, 8] {
+        let l = sum_of((0..k).map(|_| out(a, [], tau_())));
+        let r = sum_of((0..k).map(|_| inp(a, [x], out_(x, []))));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| expand_symbolic(std::hint::black_box(&l), std::hint::black_box(&r)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_prover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize/prover");
+    group.sample_size(10);
+    let [a, b, x] = names(["a", "b", "x"]);
+    // Positive: p ‖ nil = p with a non-trivial p.
+    let p = sum(out(a, [b], inp_(a, [x])), tau(out_(b, [])));
+    let q = par(p.clone(), nil());
+    group.bench_function("p-par-nil", |bch| {
+        bch.iter(|| assert!(Prover::new().congruent(std::hint::black_box(&p), &q)))
+    });
+    // The (H) instance — exercises noisy matching.
+    let lhs = out(a, [], out_(b, []));
+    let rhs = out(a, [], sum(out_(b, []), inp(a, [x], out_(b, []))));
+    group.bench_function("noisy-instance", |bch| {
+        bch.iter(|| assert!(Prover::new().congruent(std::hint::black_box(&lhs), &rhs)))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = bpi_bench::criterion();
+    targets = bench_heads,
+    bench_normalize_deep,
+    bench_hnf_partitions,
+    bench_expansion_blowup,
+    bench_prover
+
+}
+criterion_main!(benches);

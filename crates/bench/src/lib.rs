@@ -1,0 +1,41 @@
+//! # bpi-bench — benchmark harness for the bπ-calculus workspace
+//!
+//! The paper has no empirical evaluation (it is a theory paper), so the
+//! benches characterise the decision procedures it implicitly defines —
+//! see EXPERIMENTS.md entries B1–B6:
+//!
+//! * `lts` — transition-derivation throughput vs term size and fan-out;
+//! * `bisim` — bisimilarity checking across the six variants;
+//! * `normalize` — head-normal-form computation and the prover;
+//! * `broadcast_vs_p2p` — 1→N broadcast vs the π-encoded multicast
+//!   emulation (sender-side cost: constant vs linear);
+//! * `explore` — sequential vs crossbeam-parallel state-space search;
+//! * `examples` — the paper's worked examples end-to-end vs their
+//!   direct Rust baselines.
+
+/// Builds the 1→N broadcast system `āv ‖ Πᴺ a(x).x̄` used by several
+/// benches.
+pub fn fanout_system(n: usize) -> bpi_core::syntax::P {
+    use bpi_core::builder::*;
+    let [a, v, x] = names(["a", "v", "x"]);
+    let listeners = (0..n).map(|_| inp(a, [x], out_(x, [])));
+    par_of(std::iter::once(out_(a, [v])).chain(listeners))
+}
+
+/// A τ-chain of the given length: `τ.τ.….0`.
+pub fn tau_chain(n: usize) -> bpi_core::syntax::P {
+    use bpi_core::builder::*;
+    (0..n).fold(nil(), |acc, _| tau(acc))
+}
+
+/// Shared Criterion configuration: shorter warm-up and measurement
+/// windows than the defaults, so the full `cargo bench --workspace`
+/// sweep (≈80 benchmark points) completes in minutes while still
+/// producing stable medians for the shape comparisons EXPERIMENTS.md
+/// makes.
+pub fn criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20)
+}

@@ -1,0 +1,212 @@
+//! Ergonomic constructors for process terms.
+//!
+//! These mirror the paper's notation: `out(a, [b], p)` is `āb.p`,
+//! `inp(a, [x], p)` is `a(x).p`, `new(x, p)` is `νx p`, `mat(x, y, p, q)`
+//! is `(x=y)p,q`. Trailing `nil` can be omitted with the `*_` variants
+//! (`out_`, `inp_`, `tau_`), matching the paper's convention of dropping
+//! the trailing `nil`.
+
+use crate::name::Name;
+use crate::syntax::{Ident, Prefix, Process, RecDef, P};
+
+/// `nil` — the inert process.
+pub fn nil() -> P {
+    Process::Nil.rc()
+}
+
+/// `τ.p`.
+pub fn tau(p: P) -> P {
+    Process::Act(Prefix::Tau, p).rc()
+}
+
+/// `τ.nil`.
+pub fn tau_() -> P {
+    tau(nil())
+}
+
+/// `a(x̃).p` — input the names `x̃` on channel `a`.
+pub fn inp(a: Name, binders: impl IntoIterator<Item = Name>, p: P) -> P {
+    Process::Act(Prefix::Input(a, binders.into_iter().collect()), p).rc()
+}
+
+/// `a(x̃).nil`.
+pub fn inp_(a: Name, binders: impl IntoIterator<Item = Name>) -> P {
+    inp(a, binders, nil())
+}
+
+/// `āỹ.p` — broadcast the names `ỹ` on channel `a`.
+pub fn out(a: Name, objects: impl IntoIterator<Item = Name>, p: P) -> P {
+    Process::Act(Prefix::Output(a, objects.into_iter().collect()), p).rc()
+}
+
+/// `āỹ.nil`.
+pub fn out_(a: Name, objects: impl IntoIterator<Item = Name>) -> P {
+    out(a, objects, nil())
+}
+
+/// `p + q`.
+pub fn sum(p: P, q: P) -> P {
+    Process::Sum(p, q).rc()
+}
+
+/// `p ‖ q`.
+pub fn par(p: P, q: P) -> P {
+    Process::Par(p, q).rc()
+}
+
+/// `νx p`.
+pub fn new(x: Name, p: P) -> P {
+    Process::New(x, p).rc()
+}
+
+/// `νx̃ p` — iterated restriction, outermost first.
+pub fn new_many(xs: impl IntoIterator<Item = Name>, p: P) -> P {
+    let xs: Vec<Name> = xs.into_iter().collect();
+    xs.into_iter().rev().fold(p, |acc, x| new(x, acc))
+}
+
+/// `(x=y)p,q`.
+pub fn mat(x: Name, y: Name, p: P, q: P) -> P {
+    Process::Match(x, y, p, q).rc()
+}
+
+/// `(x=y)p` — match with `nil` else-branch.
+pub fn mat_(x: Name, y: Name, p: P) -> P {
+    mat(x, y, p, nil())
+}
+
+/// `A⟨ỹ⟩` — a call to a definition-environment entry.
+pub fn call(a: Ident, args: impl IntoIterator<Item = Name>) -> P {
+    Process::Call(a, args.into_iter().collect()).rc()
+}
+
+/// `X⟨ỹ⟩` — a recursion-variable occurrence (only under its `rec`).
+pub fn var(x: Ident, args: impl IntoIterator<Item = Name>) -> P {
+    Process::Var(x, args.into_iter().collect()).rc()
+}
+
+/// `(rec X(x̃).body)⟨ỹ⟩`.
+pub fn rec(
+    x: Ident,
+    params: impl IntoIterator<Item = Name>,
+    body: P,
+    args: impl IntoIterator<Item = Name>,
+) -> P {
+    Process::Rec(
+        RecDef {
+            ident: x,
+            params: params.into_iter().collect(),
+            body,
+        },
+        args.into_iter().collect(),
+    )
+    .rc()
+}
+
+/// N-ary sum: `p₁ + p₂ + … + pₙ` (right-associated); `nil` if empty.
+pub fn sum_of(ps: impl IntoIterator<Item = P>) -> P {
+    let mut v: Vec<P> = ps.into_iter().collect();
+    match v.len() {
+        0 => nil(),
+        _ => {
+            let mut acc = v.pop().unwrap();
+            while let Some(p) = v.pop() {
+                acc = sum(p, acc);
+            }
+            acc
+        }
+    }
+}
+
+/// N-ary parallel: `p₁ ‖ p₂ ‖ … ‖ pₙ` (right-associated); `nil` if empty.
+pub fn par_of(ps: impl IntoIterator<Item = P>) -> P {
+    let mut v: Vec<P> = ps.into_iter().collect();
+    match v.len() {
+        0 => nil(),
+        _ => {
+            let mut acc = v.pop().unwrap();
+            while let Some(p) = v.pop() {
+                acc = par(p, acc);
+            }
+            acc
+        }
+    }
+}
+
+/// Flattens nested sums into the list of summands (left-to-right).
+pub fn summands(p: &P) -> Vec<P> {
+    fn go(p: &P, acc: &mut Vec<P>) {
+        match &**p {
+            Process::Sum(a, b) => {
+                go(a, acc);
+                go(b, acc);
+            }
+            _ => acc.push(p.clone()),
+        }
+    }
+    let mut v = Vec::new();
+    go(p, &mut v);
+    v
+}
+
+/// Flattens nested parallel compositions into the list of components.
+pub fn components(p: &P) -> Vec<P> {
+    fn go(p: &P, acc: &mut Vec<P>) {
+        match &**p {
+            Process::Par(a, b) => {
+                go(a, acc);
+                go(b, acc);
+            }
+            _ => acc.push(p.clone()),
+        }
+    }
+    let mut v = Vec::new();
+    go(p, &mut v);
+    v
+}
+
+/// Convenience: interns several names at once: `names(["a","b"])`.
+pub fn names<const N: usize>(spellings: [&str; N]) -> [Name; N] {
+    spellings.map(Name::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nary_sum_flattens_back() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        let s = sum_of([out_(a, []), out_(b, []), out_(c, [])]);
+        assert_eq!(summands(&s).len(), 3);
+    }
+
+    #[test]
+    fn empty_sum_is_nil() {
+        assert_eq!(*sum_of([]), Process::Nil);
+        assert_eq!(*par_of([]), Process::Nil);
+    }
+
+    #[test]
+    fn new_many_order() {
+        let [x, y, a] = names(["x", "y", "a"]);
+        let p = new_many([x, y], out_(a, []));
+        match &*p {
+            Process::New(n1, inner) => {
+                assert_eq!(*n1, x);
+                match &**inner {
+                    Process::New(n2, _) => assert_eq!(*n2, y),
+                    _ => panic!("expected nested New"),
+                }
+            }
+            _ => panic!("expected New"),
+        }
+    }
+
+    #[test]
+    fn components_flatten() {
+        let [a, b] = names(["a", "b"]);
+        let p = par_of([out_(a, []), out_(b, []), nil()]);
+        assert_eq!(components(&p).len(), 3);
+    }
+}

@@ -1,0 +1,313 @@
+//! Compact binary encoding of process terms.
+//!
+//! State-space exploration and bisimulation checking key millions of
+//! hash-table operations on process terms; hashing the pointer tree is
+//! cache-hostile and re-walks shared subterms. [`encode`] flattens a
+//! term into a single contiguous [`Bytes`] buffer — one tag byte per
+//! node, LEB128 name ids — which hashes and compares as a flat `memcmp`.
+//!
+//! The encoding is **deterministic within a run** (name ids come from
+//! the global interner) and injective on terms, so
+//! `encode(p) == encode(q) ⇔ p == q`; pair it with
+//! [`crate::canon::canon`] for α-insensitive keys. It is *not* stable
+//! across runs — persist terms through the pretty-printer instead.
+//! [`decode`] inverts it for run-local round-trips.
+
+use crate::name::Name;
+use crate::syntax::{Ident, Prefix, Process, RecDef, P};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const TAG_NIL: u8 = 0;
+const TAG_TAU: u8 = 1;
+const TAG_INPUT: u8 = 2;
+const TAG_OUTPUT: u8 = 3;
+const TAG_SUM: u8 = 4;
+const TAG_PAR: u8 = 5;
+const TAG_NEW: u8 = 6;
+const TAG_MATCH: u8 = 7;
+const TAG_CALL: u8 = 8;
+const TAG_VAR: u8 = 9;
+const TAG_REC: u8 = 10;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(b);
+            return;
+        }
+        buf.put_u8(b | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> u64 {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = buf.get_u8();
+        out |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return out;
+        }
+        shift += 7;
+        assert!(shift < 64, "malformed varint");
+    }
+}
+
+fn put_name(buf: &mut BytesMut, n: Name) {
+    put_varint(buf, u64::from(n.id()));
+}
+
+fn put_names(buf: &mut BytesMut, ns: &[Name]) {
+    put_varint(buf, ns.len() as u64);
+    for &n in ns {
+        put_name(buf, n);
+    }
+}
+
+fn go(p: &Process, buf: &mut BytesMut) {
+    match p {
+        Process::Nil => buf.put_u8(TAG_NIL),
+        Process::Act(Prefix::Tau, cont) => {
+            buf.put_u8(TAG_TAU);
+            go(cont, buf);
+        }
+        Process::Act(Prefix::Input(a, xs), cont) => {
+            buf.put_u8(TAG_INPUT);
+            put_name(buf, *a);
+            put_names(buf, xs);
+            go(cont, buf);
+        }
+        Process::Act(Prefix::Output(a, ys), cont) => {
+            buf.put_u8(TAG_OUTPUT);
+            put_name(buf, *a);
+            put_names(buf, ys);
+            go(cont, buf);
+        }
+        Process::Sum(l, r) => {
+            buf.put_u8(TAG_SUM);
+            go(l, buf);
+            go(r, buf);
+        }
+        Process::Par(l, r) => {
+            buf.put_u8(TAG_PAR);
+            go(l, buf);
+            go(r, buf);
+        }
+        Process::New(x, cont) => {
+            buf.put_u8(TAG_NEW);
+            put_name(buf, *x);
+            go(cont, buf);
+        }
+        Process::Match(x, y, l, r) => {
+            buf.put_u8(TAG_MATCH);
+            put_name(buf, *x);
+            put_name(buf, *y);
+            go(l, buf);
+            go(r, buf);
+        }
+        Process::Call(id, args) => {
+            buf.put_u8(TAG_CALL);
+            put_varint(buf, u64::from(ident_id(*id)));
+            put_names(buf, args);
+        }
+        Process::Var(id, args) => {
+            buf.put_u8(TAG_VAR);
+            put_varint(buf, u64::from(ident_id(*id)));
+            put_names(buf, args);
+        }
+        Process::Rec(def, args) => {
+            buf.put_u8(TAG_REC);
+            put_varint(buf, u64::from(ident_id(def.ident)));
+            put_names(buf, &def.params);
+            go(&def.body, buf);
+            put_names(buf, args);
+        }
+    }
+}
+
+// Idents have no public id accessor; round-trip through the interner.
+fn ident_id(i: Ident) -> u32 {
+    // Interning the spelling returns the same handle; its ordinal is
+    // recovered by re-interning. We lean on Ident being Copy + Ord by
+    // internal id; expose through a transparent encode of the spelling
+    // hash-free: store by spelling length-prefixed instead would bloat —
+    // so Ident carries its id via the public Ord/Eq identity. We encode
+    // the spelling bytes the first time only at the crate boundary; here
+    // we rely on `Ident::new` idempotence and use a side table.
+    ident_table::id_of(i)
+}
+
+mod ident_table {
+    use super::Ident;
+    use parking_lot::RwLock;
+    use std::sync::LazyLock;
+
+    // Dense id assignment for idents, independent of the interner's
+    // private representation.
+    static TABLE: LazyLock<RwLock<(Vec<Ident>, std::collections::HashMap<Ident, u32>)>> =
+        LazyLock::new(|| RwLock::new((Vec::new(), std::collections::HashMap::new())));
+
+    pub fn id_of(i: Ident) -> u32 {
+        {
+            let g = TABLE.read();
+            if let Some(&id) = g.1.get(&i) {
+                return id;
+            }
+        }
+        let mut g = TABLE.write();
+        if let Some(&id) = g.1.get(&i) {
+            return id;
+        }
+        let id = u32::try_from(g.0.len()).expect("ident table overflow");
+        g.0.push(i);
+        g.1.insert(i, id);
+        id
+    }
+
+    pub fn of_id(id: u32) -> Ident {
+        TABLE.read().0[id as usize]
+    }
+}
+
+/// Encodes a term into a flat, hashable buffer. Injective: equal bytes
+/// iff syntactically equal terms.
+pub fn encode(p: &P) -> Bytes {
+    let mut buf = BytesMut::with_capacity(p.size() * 4);
+    go(p, &mut buf);
+    buf.freeze()
+}
+
+fn get_name(buf: &mut Bytes) -> Name {
+    Name::from_id(u32::try_from(get_varint(buf)).expect("name id overflow"))
+}
+
+fn get_names(buf: &mut Bytes) -> Vec<Name> {
+    let n = get_varint(buf) as usize;
+    (0..n).map(|_| get_name(buf)).collect()
+}
+
+fn parse(buf: &mut Bytes) -> P {
+    match buf.get_u8() {
+        TAG_NIL => Process::Nil.rc(),
+        TAG_TAU => Process::Act(Prefix::Tau, parse(buf)).rc(),
+        TAG_INPUT => {
+            let a = get_name(buf);
+            let xs = get_names(buf);
+            Process::Act(Prefix::Input(a, xs), parse(buf)).rc()
+        }
+        TAG_OUTPUT => {
+            let a = get_name(buf);
+            let ys = get_names(buf);
+            Process::Act(Prefix::Output(a, ys), parse(buf)).rc()
+        }
+        TAG_SUM => Process::Sum(parse(buf), parse(buf)).rc(),
+        TAG_PAR => Process::Par(parse(buf), parse(buf)).rc(),
+        TAG_NEW => {
+            let x = get_name(buf);
+            Process::New(x, parse(buf)).rc()
+        }
+        TAG_MATCH => {
+            let x = get_name(buf);
+            let y = get_name(buf);
+            Process::Match(x, y, parse(buf), parse(buf)).rc()
+        }
+        TAG_CALL => {
+            let id = ident_table::of_id(get_varint(buf) as u32);
+            Process::Call(id, get_names(buf)).rc()
+        }
+        TAG_VAR => {
+            let id = ident_table::of_id(get_varint(buf) as u32);
+            Process::Var(id, get_names(buf)).rc()
+        }
+        TAG_REC => {
+            let id = ident_table::of_id(get_varint(buf) as u32);
+            let params = get_names(buf);
+            let body = parse(buf);
+            let args = get_names(buf);
+            Process::Rec(
+                RecDef {
+                    ident: id,
+                    params,
+                    body,
+                },
+                args,
+            )
+            .rc()
+        }
+        t => panic!("malformed process encoding: tag {t}"),
+    }
+}
+
+/// Decodes a buffer produced by [`encode`] **in the same run**.
+///
+/// # Panics
+/// Panics on malformed input or cross-run buffers.
+pub fn decode(bytes: &Bytes) -> P {
+    let mut buf = bytes.clone();
+    let p = parse(&mut buf);
+    assert!(buf.is_empty(), "trailing bytes in process encoding");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn roundtrip_all_constructors() {
+        let [a, b, x, y] = names(["a", "b", "x", "y"]);
+        let xid = Ident::new("EncR");
+        let samples = vec![
+            nil(),
+            tau(out_(a, [b])),
+            inp(a, [x, y], out_(x, [y])),
+            sum(par(nil(), tau_()), new(x, out_(x, []))),
+            mat(a, b, tau_(), nil()),
+            call(xid, [a, b]),
+            rec(xid, [x], out(x, [], var(xid, [x])), [a]),
+        ];
+        for p in samples {
+            let e = encode(&p);
+            assert_eq!(decode(&e), p, "round trip failed for {p}");
+        }
+    }
+
+    #[test]
+    fn injective_on_distinct_terms() {
+        let [a, b] = names(["a", "b"]);
+        let terms = vec![
+            out_(a, []),
+            out_(b, []),
+            out_(a, [b]),
+            inp_(a, []),
+            sum(out_(a, []), out_(b, [])),
+            par(out_(a, []), out_(b, [])),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for t in &terms {
+            assert!(seen.insert(encode(t)), "collision for {t}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let [a, x] = names(["a", "x"]);
+        let p = inp(a, [x], out_(x, []));
+        // 5 nodes, a handful of name refs: far smaller than the tree.
+        assert!(encode(&p).len() < 24);
+    }
+
+    #[test]
+    fn varint_edge_cases() {
+        let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut b = buf.clone().freeze();
+            assert_eq!(get_varint(&mut b), v);
+        }
+    }
+}

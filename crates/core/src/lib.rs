@@ -1,0 +1,43 @@
+//! # bpi-core — syntax of the bπ-calculus
+//!
+//! This crate implements the syntactic layer of the **bπ-calculus** of
+//! Ene & Muntean, *A Broadcast-based Calculus for Communicating Systems*
+//! (IPPS/FMPPTA 2001): a π-calculus-style name-passing process calculus
+//! whose only communication primitive is unbuffered **broadcast**.
+//!
+//! Contents:
+//!
+//! * [`name`] — interned channel names, name sets, fresh-name generation;
+//! * [`syntax`] — the process grammar of Table 1, free/bound names,
+//!   definition environments, guardedness checks;
+//! * [`action`] — transition labels (Definition 1), including the
+//!   broadcast-specific *discard* label;
+//! * [`subst`] — capture-avoiding substitution and recursion unfolding;
+//! * [`canon`] — α-canonical forms and α-equivalence;
+//! * [`builder`] — ergonomic term constructors;
+//! * [`parser`] / [`pretty`] — a concrete syntax.
+//!
+//! The operational semantics lives in `bpi-semantics`, behavioural
+//! equivalences in `bpi-equiv`, and the Section-5 axiomatisation in
+//! `bpi-axioms`.
+
+pub mod action;
+pub mod builder;
+pub mod canon;
+pub mod encode;
+pub mod name;
+pub mod parser;
+pub mod pretty;
+pub mod serde_impls;
+pub mod simplify;
+pub mod subst;
+pub mod syntax;
+
+pub use action::Action;
+pub use canon::{alpha_eq, canon};
+pub use encode::{decode, encode};
+pub use name::{fresh_name, fresh_names, Name, NameSet};
+pub use simplify::prune;
+pub use parser::{parse_defs, parse_process, ParseError};
+pub use subst::{unfold_call, unfold_rec, Subst};
+pub use syntax::{Def, Defs, Ident, Prefix, Process, RecDef, P};

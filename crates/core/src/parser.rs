@@ -1,0 +1,542 @@
+//! A recursive-descent parser for the concrete syntax printed by
+//! [`crate::pretty`].
+//!
+//! Grammar (EBNF; whitespace and `//`-comments are skipped):
+//!
+//! ```text
+//! proc    := par
+//! par     := sum ( '|' sum )*
+//! sum     := seq ( '+' seq )*
+//! seq     := 'tau' ( '.' seq )?
+//!          | 'new' name (',' name)* '.' seq
+//!          | '[' name '=' name ']' '{' proc '}' ( '{' proc '}' )?
+//!          | 'rec' IDENT '(' names? ')' '{' proc '}' ( '<' names? '>' )?
+//!          | IDENT '<' names? '>'
+//!          | name '(' names? ')' ( '.' seq )?      -- input
+//!          | name '<' names? '>' ( '.' seq )?      -- output
+//!          | '0'
+//!          | '(' proc ')'
+//! names   := name ( ',' name )*
+//! ```
+//!
+//! Lowercase-initial identifiers are channel names; uppercase-initial
+//! identifiers are process identifiers. Inside `rec X(..){..}` an
+//! occurrence of `X<..>` is a recursion variable; elsewhere uppercase
+//! identifiers are definition calls. A definition file is a sequence of
+//! `Ident(params) = proc ;` items parsed by [`parse_defs`].
+
+use crate::builder;
+use crate::name::Name;
+use crate::syntax::{Defs, Ident, Prefix, Process, RecDef, P};
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Name(String),
+    Ident(String),
+    KwTau,
+    KwNew,
+    KwRec,
+    Zero,
+    LParen,
+    RParen,
+    LAngle,
+    RAngle,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Dot,
+    Comma,
+    Plus,
+    Bar,
+    Eq,
+    Semi,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokens(src: &'a str) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut lx = Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        };
+        let mut out = Vec::new();
+        while let Some(t) = lx.next_token()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    fn next_token(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // line comments
+            if self.pos + 1 < self.src.len() && &self.src[self.pos..self.pos + 2] == b"//" {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = self.src[self.pos];
+        let simple = |t| Ok(Some((start, t)));
+        self.pos += 1;
+        match c {
+            b'(' => simple(Tok::LParen),
+            b')' => simple(Tok::RParen),
+            b'<' => simple(Tok::LAngle),
+            b'>' => simple(Tok::RAngle),
+            b'{' => simple(Tok::LBrace),
+            b'}' => simple(Tok::RBrace),
+            b'[' => simple(Tok::LBracket),
+            b']' => simple(Tok::RBracket),
+            b'.' => simple(Tok::Dot),
+            b',' => simple(Tok::Comma),
+            b'+' => simple(Tok::Plus),
+            b'|' => simple(Tok::Bar),
+            b'=' => simple(Tok::Eq),
+            b';' => simple(Tok::Semi),
+            b'0' => simple(Tok::Zero),
+            // `#` admits canonical names (#0, #1, …) so that pretty-printed
+            // α-canonical forms re-parse; `~` admits fresh names (x~3).
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'#' => {
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric()
+                        || self.src[self.pos] == b'_'
+                        || self.src[self.pos] == b'\''
+                        || self.src[self.pos] == b'~'
+                        || self.src[self.pos] == b'#')
+                {
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let tok = match s {
+                    "tau" => Tok::KwTau,
+                    "new" => Tok::KwNew,
+                    "rec" => Tok::KwRec,
+                    _ if s.as_bytes()[0].is_ascii_uppercase() => Tok::Ident(s.to_owned()),
+                    _ => Tok::Name(s.to_owned()),
+                };
+                Ok(Some((start, tok)))
+            }
+            _ => Err(ParseError {
+                pos: start,
+                message: format!("unexpected character {:?}", c as char),
+            }),
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+    /// Recursion variables currently in scope (`rec X(..){ here }`).
+    rec_scope: Vec<Ident>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.i)
+            .map(|(p, _)| *p)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => {
+                self.i -= 1;
+                self.err(format!("expected {what}, found {t:?}"))
+            }
+            None => self.err(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn name(&mut self) -> Result<Name, ParseError> {
+        match self.bump() {
+            // Raw interning: the parser must accept canonical (`#i`) and
+            // fresh (`x~n`) names produced by our own printer.
+            Some(Tok::Name(s)) => Ok(Name::intern_raw(&s)),
+            Some(t) => {
+                self.i -= 1;
+                self.err(format!("expected a channel name, found {t:?}"))
+            }
+            None => self.err("expected a channel name, found end of input"),
+        }
+    }
+
+    /// Comma-separated names, possibly empty, up to (not including) `close`.
+    fn name_list(&mut self, close: &Tok) -> Result<Vec<Name>, ParseError> {
+        let mut out = Vec::new();
+        if self.peek() == Some(close) {
+            return Ok(out);
+        }
+        out.push(self.name()?);
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            out.push(self.name()?);
+        }
+        Ok(out)
+    }
+
+    fn proc(&mut self) -> Result<P, ParseError> {
+        self.par()
+    }
+
+    fn par(&mut self) -> Result<P, ParseError> {
+        let mut p = self.sum()?;
+        while self.peek() == Some(&Tok::Bar) {
+            self.bump();
+            let q = self.sum()?;
+            p = builder::par(p, q);
+        }
+        Ok(p)
+    }
+
+    fn sum(&mut self) -> Result<P, ParseError> {
+        let mut p = self.seq()?;
+        while self.peek() == Some(&Tok::Plus) {
+            self.bump();
+            let q = self.seq()?;
+            p = builder::sum(p, q);
+        }
+        Ok(p)
+    }
+
+    fn opt_continuation(&mut self) -> Result<P, ParseError> {
+        if self.peek() == Some(&Tok::Dot) {
+            self.bump();
+            self.seq()
+        } else {
+            Ok(builder::nil())
+        }
+    }
+
+    fn seq(&mut self) -> Result<P, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Zero) => {
+                self.bump();
+                Ok(builder::nil())
+            }
+            Some(Tok::KwTau) => {
+                self.bump();
+                let cont = self.opt_continuation()?;
+                Ok(builder::tau(cont))
+            }
+            Some(Tok::KwNew) => {
+                self.bump();
+                let mut xs = vec![self.name()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                    xs.push(self.name()?);
+                }
+                self.expect(Tok::Dot, "'.' after restricted names")?;
+                let body = self.seq()?;
+                Ok(builder::new_many(xs, body))
+            }
+            Some(Tok::LBracket) => {
+                self.bump();
+                let x = self.name()?;
+                self.expect(Tok::Eq, "'=' in match")?;
+                let y = self.name()?;
+                self.expect(Tok::RBracket, "']' closing match")?;
+                self.expect(Tok::LBrace, "'{' opening then-branch")?;
+                let then = self.proc()?;
+                self.expect(Tok::RBrace, "'}' closing then-branch")?;
+                let els = if self.peek() == Some(&Tok::LBrace) {
+                    self.bump();
+                    let e = self.proc()?;
+                    self.expect(Tok::RBrace, "'}' closing else-branch")?;
+                    e
+                } else {
+                    builder::nil()
+                };
+                Ok(builder::mat(x, y, then, els))
+            }
+            Some(Tok::KwRec) => {
+                self.bump();
+                let id = match self.bump() {
+                    Some(Tok::Ident(s)) => Ident::new(&s),
+                    _ => {
+                        self.i -= 1;
+                        return self.err("expected an uppercase identifier after 'rec'");
+                    }
+                };
+                self.expect(Tok::LParen, "'(' opening rec parameters")?;
+                let params = self.name_list(&Tok::RParen)?;
+                self.expect(Tok::RParen, "')' closing rec parameters")?;
+                self.expect(Tok::LBrace, "'{' opening rec body")?;
+                self.rec_scope.push(id);
+                let body = self.proc();
+                self.rec_scope.pop();
+                let body = body?;
+                self.expect(Tok::RBrace, "'}' closing rec body")?;
+                let args = if self.peek() == Some(&Tok::LAngle) {
+                    self.bump();
+                    let a = self.name_list(&Tok::RAngle)?;
+                    self.expect(Tok::RAngle, "'>' closing rec arguments")?;
+                    a
+                } else {
+                    params.clone()
+                };
+                Ok(Process::Rec(
+                    RecDef {
+                        ident: id,
+                        params,
+                        body,
+                    },
+                    args,
+                )
+                .rc())
+            }
+            Some(Tok::Ident(s)) => {
+                self.bump();
+                let id = Ident::new(&s);
+                self.expect(Tok::LAngle, "'<' opening call arguments")?;
+                let args = self.name_list(&Tok::RAngle)?;
+                self.expect(Tok::RAngle, "'>' closing call arguments")?;
+                if self.rec_scope.contains(&id) {
+                    Ok(Process::Var(id, args).rc())
+                } else {
+                    Ok(Process::Call(id, args).rc())
+                }
+            }
+            Some(Tok::Name(_)) => {
+                let a = self.name()?;
+                match self.peek() {
+                    Some(Tok::LParen) => {
+                        self.bump();
+                        let xs = self.name_list(&Tok::RParen)?;
+                        self.expect(Tok::RParen, "')' closing input objects")?;
+                        let cont = self.opt_continuation()?;
+                        Ok(Process::Act(Prefix::Input(a, xs), cont).rc())
+                    }
+                    Some(Tok::LAngle) => {
+                        self.bump();
+                        let ys = self.name_list(&Tok::RAngle)?;
+                        self.expect(Tok::RAngle, "'>' closing output objects")?;
+                        let cont = self.opt_continuation()?;
+                        Ok(Process::Act(Prefix::Output(a, ys), cont).rc())
+                    }
+                    _ => self.err("expected '(' or '<' after channel name"),
+                }
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let p = self.proc()?;
+                self.expect(Tok::RParen, "')' closing parenthesised process")?;
+                Ok(p)
+            }
+            Some(t) => self.err(format!("unexpected token {t:?}")),
+            None => self.err("unexpected end of input"),
+        }
+    }
+}
+
+/// Parses a single process term.
+///
+/// ```
+/// use bpi_core::{parse_process, alpha_eq};
+/// let p = parse_process("new t. a<t>.t<>").unwrap();
+/// let q = parse_process("new u. a<u>.u<>").unwrap();
+/// assert!(alpha_eq(&p, &q));
+/// assert!(parse_process("a<b").is_err());
+/// ```
+pub fn parse_process(src: &str) -> Result<P, ParseError> {
+    let toks = Lexer::tokens(src)?;
+    let mut p = Parser {
+        toks,
+        i: 0,
+        rec_scope: Vec::new(),
+    };
+    let out = p.proc()?;
+    if p.i != p.toks.len() {
+        return p.err("trailing input after process");
+    }
+    Ok(out)
+}
+
+/// Parses a definition file: a sequence of `Ident(params) = proc ;` items.
+///
+/// ```
+/// use bpi_core::{parse_defs, Ident};
+/// let defs = parse_defs("Fwd(a,b) = a(x).b<x>.Fwd<a,b>;").unwrap();
+/// assert!(defs.get(Ident::new("Fwd")).is_some());
+/// ```
+pub fn parse_defs(src: &str) -> Result<Defs, ParseError> {
+    let toks = Lexer::tokens(src)?;
+    let mut p = Parser {
+        toks,
+        i: 0,
+        rec_scope: Vec::new(),
+    };
+    let mut defs = Defs::new();
+    while p.peek().is_some() {
+        let id = match p.bump() {
+            Some(Tok::Ident(s)) => Ident::new(&s),
+            _ => {
+                p.i -= 1;
+                return p.err("expected a definition name (uppercase identifier)");
+            }
+        };
+        p.expect(Tok::LParen, "'(' opening definition parameters")?;
+        let params = p.name_list(&Tok::RParen)?;
+        p.expect(Tok::RParen, "')' closing definition parameters")?;
+        p.expect(Tok::Eq, "'=' in definition")?;
+        let body = p.proc()?;
+        p.expect(Tok::Semi, "';' terminating definition")?;
+        defs.define(id, params, body);
+    }
+    Ok(defs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::canon::alpha_eq;
+
+    fn roundtrip(src: &str) {
+        let p = parse_process(src).unwrap();
+        let printed = p.to_string();
+        let q = parse_process(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(p, q, "round-trip changed the term: {src} -> {printed}");
+    }
+
+    #[test]
+    fn parses_basic_terms() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        assert_eq!(parse_process("0").unwrap(), nil());
+        assert_eq!(parse_process("tau").unwrap(), tau_());
+        assert_eq!(parse_process("a<b>").unwrap(), out_(a, [b]));
+        assert_eq!(parse_process("a(x).x<>").unwrap(), inp(a, [x], out_(x, [])));
+        assert_eq!(
+            parse_process("a<> + b<>").unwrap(),
+            sum(out_(a, []), out_(b, []))
+        );
+        assert_eq!(
+            parse_process("a<> | b<>").unwrap(),
+            par(out_(a, []), out_(b, []))
+        );
+    }
+
+    #[test]
+    fn precedence_sum_tighter_than_par() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        // a<> + b<> | c<>  ==  (a<> + b<>) | c<>
+        assert_eq!(
+            parse_process("a<> + b<> | c<>").unwrap(),
+            par(sum(out_(a, []), out_(b, [])), out_(c, []))
+        );
+    }
+
+    #[test]
+    fn parses_new_match_rec() {
+        roundtrip("new x,y. a<x,y>");
+        roundtrip("[x=y]{tau}{x<>}");
+        roundtrip("[x=y]{tau}");
+        roundtrip("rec Z(x){ x<>.Z<x> }<y>");
+        roundtrip("new u. (rec Y(b,u){ b<u>.Y<b,u> }<b,u> | a(w).0)");
+    }
+
+    #[test]
+    fn rec_variable_vs_call() {
+        let p = parse_process("rec X(x){ x<>.X<x> }<a>").unwrap();
+        match &*p {
+            Process::Rec(def, _) => match &*def.body {
+                Process::Act(_, cont) => {
+                    assert!(matches!(&**cont, Process::Var(..)));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+        // Outside of rec, uppercase is a Call.
+        let q = parse_process("X<a>").unwrap();
+        assert!(matches!(&*q, Process::Call(..)));
+    }
+
+    #[test]
+    fn parses_defs() {
+        let defs = parse_defs(
+            "Fwd(a,b) = a(x).b<x>.Fwd<a,b>;\n\
+             Pair(a) = Fwd<a,a> | Fwd<a,a>;",
+        )
+        .unwrap();
+        assert_eq!(defs.len(), 2);
+        let fwd = defs.get(Ident::new("Fwd")).unwrap();
+        assert_eq!(fwd.params.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse_process("a<b").unwrap_err();
+        assert!(e.message.contains('>'), "message: {}", e.message);
+        let e2 = parse_process("a b").unwrap_err();
+        assert!(e2.pos > 0);
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let p = parse_process("// leading comment\n a<> // trailing\n + b<>").unwrap();
+        assert_eq!(summands(&p).len(), 2);
+    }
+
+    #[test]
+    fn pretty_roundtrip_alpha() {
+        // Round-trip through printing preserves alpha-equivalence even for
+        // canonical names.
+        let p = parse_process("new x. a(y).x<y>").unwrap();
+        let c = crate::canon::canon(&p);
+        let reparsed = parse_process(&c.to_string()).unwrap();
+        assert!(alpha_eq(&c, &reparsed));
+    }
+}

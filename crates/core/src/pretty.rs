@@ -1,0 +1,198 @@
+//! Pretty-printing of process terms in the crate's concrete syntax.
+//!
+//! The output is re-parseable by [`crate::parser`]:
+//!
+//! ```text
+//! 0                      nil
+//! tau.p                  silent prefix
+//! a(x,y).p               input
+//! a<b,c>.p               broadcast output
+//! p + q                  choice
+//! p | q                  parallel
+//! new x,y. p             restriction
+//! [x=y]{p}{q}            match
+//! A<a,b>                 definition call / recursion variable
+//! rec X(x){ p }<a>       recursion
+//! ```
+//!
+//! Operator precedence (loosest to tightest): `|`, `+`, prefixing.
+
+use crate::syntax::{Prefix, Process};
+use std::fmt;
+
+const LVL_PAR: u8 = 0;
+const LVL_SUM: u8 = 1;
+const LVL_SEQ: u8 = 2;
+
+fn write_names(f: &mut fmt::Formatter<'_>, ns: &[crate::name::Name]) -> fmt::Result {
+    for (i, n) in ns.iter().enumerate() {
+        if i > 0 {
+            f.write_str(",")?;
+        }
+        write!(f, "{n}")?;
+    }
+    Ok(())
+}
+
+fn go(p: &Process, lvl: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match p {
+        Process::Nil => f.write_str("0"),
+        Process::Act(pre, cont) => {
+            let needs = lvl > LVL_SEQ;
+            if needs {
+                f.write_str("(")?;
+            }
+            match pre {
+                Prefix::Tau => f.write_str("tau")?,
+                Prefix::Input(a, xs) => {
+                    write!(f, "{a}(")?;
+                    write_names(f, xs)?;
+                    f.write_str(")")?;
+                }
+                Prefix::Output(a, ys) => {
+                    write!(f, "{a}<")?;
+                    write_names(f, ys)?;
+                    f.write_str(">")?;
+                }
+            }
+            if !matches!(&**cont, Process::Nil) {
+                f.write_str(".")?;
+                go(cont, LVL_SEQ, f)?;
+            }
+            if needs {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Process::Sum(l, r) => {
+            let needs = lvl > LVL_SUM;
+            if needs {
+                f.write_str("(")?;
+            }
+            go(l, LVL_SUM, f)?;
+            f.write_str(" + ")?;
+            // The parser is left-associative; a right-nested sum needs
+            // explicit parentheses for an exact round trip.
+            go(r, LVL_SUM + if matches!(&**r, Process::Sum(..)) { 1 } else { 0 }, f)?;
+            if needs {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Process::Par(l, r) => {
+            let needs = lvl > LVL_PAR;
+            if needs {
+                f.write_str("(")?;
+            }
+            go(l, LVL_PAR, f)?;
+            f.write_str(" | ")?;
+            go(r, LVL_PAR + if matches!(&**r, Process::Par(..)) { 1 } else { 0 }, f)?;
+            if needs {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Process::New(x, cont) => {
+            let needs = lvl > LVL_SEQ;
+            if needs {
+                f.write_str("(")?;
+            }
+            // Collapse nested restrictions: new x,y,z. p
+            write!(f, "new {x}")?;
+            let mut cur = cont;
+            while let Process::New(y, inner) = &**cur {
+                write!(f, ",{y}")?;
+                cur = inner;
+            }
+            f.write_str(". ")?;
+            go(cur, LVL_SEQ, f)?;
+            if needs {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Process::Match(x, y, l, r) => {
+            write!(f, "[{x}={y}]{{")?;
+            go(l, LVL_PAR, f)?;
+            f.write_str("}")?;
+            if !matches!(&**r, Process::Nil) {
+                f.write_str("{")?;
+                go(r, LVL_PAR, f)?;
+                f.write_str("}")?;
+            }
+            Ok(())
+        }
+        Process::Call(id, args) | Process::Var(id, args) => {
+            write!(f, "{id}<")?;
+            write_names(f, args)?;
+            f.write_str(">")
+        }
+        Process::Rec(def, args) => {
+            write!(f, "rec {}(", def.ident)?;
+            write_names(f, &def.params)?;
+            f.write_str("){ ")?;
+            go(&def.body, LVL_PAR, f)?;
+            f.write_str(" }<")?;
+            write_names(f, args)?;
+            f.write_str(">")
+        }
+    }
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        go(self, LVL_PAR, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::*;
+    use crate::syntax::Ident;
+
+    #[test]
+    fn basic_forms() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        assert_eq!(nil().to_string(), "0");
+        assert_eq!(tau_().to_string(), "tau");
+        assert_eq!(out_(a, [b]).to_string(), "a<b>");
+        assert_eq!(inp_(a, [x]).to_string(), "a(x)");
+        assert_eq!(sum(out_(a, []), out_(b, [])).to_string(), "a<> + b<>");
+        assert_eq!(par(out_(a, []), out_(b, [])).to_string(), "a<> | b<>");
+    }
+
+    #[test]
+    fn precedence_parens() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        // ā.(b̄ + c̄) needs parens; ā.b̄ + c̄ does not.
+        let p = out(a, [], sum(out_(b, []), out_(c, [])));
+        assert_eq!(p.to_string(), "a<>.(b<> + c<>)");
+        let q = sum(out(a, [], out_(b, [])), out_(c, []));
+        assert_eq!(q.to_string(), "a<>.b<> + c<>");
+        // `+` binds tighter than `|`, so (p + q) | r needs no parens …
+        let r = par(sum(out_(a, []), out_(b, [])), out_(c, []));
+        assert_eq!(r.to_string(), "a<> + b<> | c<>");
+        // … but (p | q) + r does.
+        let s = sum(par(out_(a, []), out_(b, [])), out_(c, []));
+        assert_eq!(s.to_string(), "(a<> | b<>) + c<>");
+    }
+
+    #[test]
+    fn restriction_collapses() {
+        let [x, y, a] = names(["x", "y", "a"]);
+        let p = new_many([x, y], out_(a, [x, y]));
+        assert_eq!(p.to_string(), "new x,y. a<x,y>");
+    }
+
+    #[test]
+    fn match_and_rec() {
+        let [x, y] = names(["x", "y"]);
+        let m = mat(x, y, tau_(), out_(x, []));
+        assert_eq!(m.to_string(), "[x=y]{tau}{x<>}");
+        let m2 = mat_(x, y, tau_());
+        assert_eq!(m2.to_string(), "[x=y]{tau}");
+        let xid = Ident::new("Z");
+        let r = rec(xid, [x], out(x, [], var(xid, [x])), [y]);
+        assert_eq!(r.to_string(), "rec Z(x){ x<>.Z<x> }<y>");
+    }
+}

@@ -1,0 +1,312 @@
+//! Serde support for the syntactic types.
+//!
+//! Terms serialize through the concrete syntax (the pretty-printer) and
+//! deserialize through the parser, so any serde format carries
+//! human-readable, version-stable process text rather than interner ids:
+//!
+//! * [`Name`], [`Ident`] — their spelling;
+//! * [`Process`] — the [`crate::pretty`] rendering;
+//! * [`Defs`] — a definition file in [`crate::parser::parse_defs`]
+//!   syntax.
+//!
+//! Deserialisation of a `Process` rejects malformed text with the
+//! format's error type, carrying the parser's position diagnostics.
+
+use crate::name::Name;
+use crate::parser::{parse_defs, parse_process};
+use crate::syntax::{Defs, Ident, Process};
+use serde::de::{Deserialize, Deserializer, Error as DeError, Visitor};
+use serde::ser::{Serialize, Serializer};
+use std::fmt;
+
+impl Serialize for Name {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_str(self)
+    }
+}
+
+struct NameVisitor;
+
+impl Visitor<'_> for NameVisitor {
+    type Value = Name;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a channel name")
+    }
+    fn visit_str<E: DeError>(self, v: &str) -> Result<Name, E> {
+        if v.is_empty() {
+            return Err(E::custom("empty channel name"));
+        }
+        Ok(Name::intern_raw(v))
+    }
+}
+
+impl<'de> Deserialize<'de> for Name {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Name, D::Error> {
+        d.deserialize_str(NameVisitor)
+    }
+}
+
+impl Serialize for Ident {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_str(self)
+    }
+}
+
+struct IdentVisitor;
+
+impl Visitor<'_> for IdentVisitor {
+    type Value = Ident;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a process identifier")
+    }
+    fn visit_str<E: DeError>(self, v: &str) -> Result<Ident, E> {
+        if v.is_empty() {
+            return Err(E::custom("empty identifier"));
+        }
+        Ok(Ident::new(v))
+    }
+}
+
+impl<'de> Deserialize<'de> for Ident {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Ident, D::Error> {
+        d.deserialize_str(IdentVisitor)
+    }
+}
+
+impl Serialize for Process {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_str(self)
+    }
+}
+
+struct ProcessVisitor;
+
+impl Visitor<'_> for ProcessVisitor {
+    type Value = Process;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a bπ process in concrete syntax")
+    }
+    fn visit_str<E: DeError>(self, v: &str) -> Result<Process, E> {
+        parse_process(v)
+            .map(|p| (*p).clone())
+            .map_err(|e| E::custom(e))
+    }
+}
+
+impl<'de> Deserialize<'de> for Process {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Process, D::Error> {
+        d.deserialize_str(ProcessVisitor)
+    }
+}
+
+impl Serialize for Defs {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut text = String::new();
+        for (id, def) in self.iter() {
+            text.push_str(&id.to_string());
+            text.push('(');
+            for (i, p) in def.params.iter().enumerate() {
+                if i > 0 {
+                    text.push(',');
+                }
+                text.push_str(&p.to_string());
+            }
+            text.push_str(") = ");
+            text.push_str(&def.body.to_string());
+            text.push_str(";\n");
+        }
+        s.serialize_str(&text)
+    }
+}
+
+struct DefsVisitor;
+
+impl Visitor<'_> for DefsVisitor {
+    type Value = Defs;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a bπ definition file")
+    }
+    fn visit_str<E: DeError>(self, v: &str) -> Result<Defs, E> {
+        parse_defs(v).map_err(E::custom)
+    }
+}
+
+impl<'de> Deserialize<'de> for Defs {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Defs, D::Error> {
+        d.deserialize_str(DefsVisitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use serde::de::value::{Error as ValueError, StrDeserializer};
+    use serde::de::IntoDeserializer;
+
+    /// A minimal serializer that captures exactly one string — enough to
+    /// exercise the `collect_str`-based impls without a format crate.
+    struct StringSink(Option<String>);
+
+    impl serde::Serializer for &mut StringSink {
+        type Ok = ();
+        type Error = std::fmt::Error;
+        type SerializeSeq = serde::ser::Impossible<(), Self::Error>;
+        type SerializeTuple = serde::ser::Impossible<(), Self::Error>;
+        type SerializeTupleStruct = serde::ser::Impossible<(), Self::Error>;
+        type SerializeTupleVariant = serde::ser::Impossible<(), Self::Error>;
+        type SerializeMap = serde::ser::Impossible<(), Self::Error>;
+        type SerializeStruct = serde::ser::Impossible<(), Self::Error>;
+        type SerializeStructVariant = serde::ser::Impossible<(), Self::Error>;
+
+        fn serialize_str(self, v: &str) -> Result<(), Self::Error> {
+            self.0 = Some(v.to_owned());
+            Ok(())
+        }
+        fn collect_str<T: fmt::Display + ?Sized>(self, v: &T) -> Result<(), Self::Error> {
+            self.0 = Some(v.to_string());
+            Ok(())
+        }
+
+        // Everything else is unreachable for these impls.
+        unreachable_serializers! {
+            serialize_bool(bool) serialize_i8(i8) serialize_i16(i16)
+            serialize_i32(i32) serialize_i64(i64) serialize_u8(u8)
+            serialize_u16(u16) serialize_u32(u32) serialize_u64(u64)
+            serialize_f32(f32) serialize_f64(f64) serialize_char(char)
+            serialize_bytes(&[u8])
+        }
+        fn serialize_none(self) -> Result<(), Self::Error> {
+            unreachable!()
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, _: &T) -> Result<(), Self::Error> {
+            unreachable!()
+        }
+        fn serialize_unit(self) -> Result<(), Self::Error> {
+            unreachable!()
+        }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Self::Error> {
+            unreachable!()
+        }
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+        ) -> Result<(), Self::Error> {
+            unreachable!()
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            _: &T,
+        ) -> Result<(), Self::Error> {
+            unreachable!()
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: &T,
+        ) -> Result<(), Self::Error> {
+            unreachable!()
+        }
+        fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> {
+            unreachable!()
+        }
+        fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, Self::Error> {
+            unreachable!()
+        }
+        fn serialize_tuple_struct(
+            self,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeTupleStruct, Self::Error> {
+            unreachable!()
+        }
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error> {
+            unreachable!()
+        }
+        fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, Self::Error> {
+            unreachable!()
+        }
+        fn serialize_struct(
+            self,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error> {
+            unreachable!()
+        }
+        fn serialize_struct_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error> {
+            unreachable!()
+        }
+    }
+
+    macro_rules! unreachable_serializers {
+        ($($name:ident($ty:ty))*) => {
+            $(fn $name(self, _: $ty) -> Result<(), Self::Error> {
+                unreachable!()
+            })*
+        };
+    }
+    use unreachable_serializers;
+
+    fn to_string<T: Serialize>(v: &T) -> String {
+        let mut sink = StringSink(None);
+        v.serialize(&mut sink).unwrap();
+        sink.0.unwrap()
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let a = Name::new("alpha");
+        assert_eq!(to_string(&a), "alpha");
+        let d: StrDeserializer<'_, ValueError> = "alpha".into_deserializer();
+        assert_eq!(Name::deserialize(d).unwrap(), a);
+    }
+
+    #[test]
+    fn process_roundtrip() {
+        let [a, x] = names(["a", "x"]);
+        let p = new(x, inp(a, [x], out_(x, [])));
+        let text = to_string(&*p);
+        let d: StrDeserializer<'_, ValueError> = text.as_str().into_deserializer();
+        let q = Process::deserialize(d).unwrap();
+        assert_eq!(*p, q);
+    }
+
+    #[test]
+    fn process_rejects_garbage() {
+        let d: StrDeserializer<'_, ValueError> = "a<b".into_deserializer();
+        assert!(Process::deserialize(d).is_err());
+    }
+
+    #[test]
+    fn defs_roundtrip() {
+        let src = "Fwd(a,b) = a(x).b<x>.Fwd<a,b>;";
+        let d: StrDeserializer<'_, ValueError> = src.into_deserializer();
+        let defs = Defs::deserialize(d).unwrap();
+        assert_eq!(defs.len(), 1);
+        let text = to_string(&defs);
+        let d2: StrDeserializer<'_, ValueError> = text.as_str().into_deserializer();
+        let defs2 = Defs::deserialize(d2).unwrap();
+        assert_eq!(defs2.len(), 1);
+        assert_eq!(
+            defs.get(Ident::new("Fwd")).unwrap().body,
+            defs2.get(Ident::new("Fwd")).unwrap().body
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Structural-congruence garbage collection.
+//!
+//! Long-running broadcast systems accumulate inert husks: a fired
+//! forwarder leaves `nil ‖ p`, a dead manager leaves `p + nil` branches,
+//! a used-up private name leaves `νx p` with `x ∉ fn(p)`. [`prune`]
+//! removes them using exactly the laws the paper proves sound for every
+//! equivalence it defines (Lemmas 2, 4 and 6, clauses (b), (e), (h)):
+//!
+//! ```text
+//! p ‖ nil ~ p      p + nil ~ p      νx p ~ p  (x ∉ fn(p))      νx nil ~ nil
+//! ```
+//!
+//! Pruning is applied by the state-space explorer and the bisimulation
+//! graphs, where it turns otherwise-unbounded husk growth into finite
+//! state spaces. It never rewrites under prefixes' *future* structure
+//! incorrectly — it is a plain bottom-up fold.
+
+use crate::syntax::{Process, P};
+
+/// Structurally simplifies a term using nil-unit and vacuous-restriction
+/// laws. The result is strongly bisimilar (indeed `~c`-congruent) to the
+/// input.
+pub fn prune(p: &P) -> P {
+    match &**p {
+        Process::Nil | Process::Call(..) | Process::Var(..) => p.clone(),
+        Process::Act(pre, cont) => {
+            let c = prune(cont);
+            if c == *cont {
+                p.clone()
+            } else {
+                Process::Act(pre.clone(), c).rc()
+            }
+        }
+        Process::Sum(l, r) => {
+            let (l2, r2) = (prune(l), prune(r));
+            match (&*l2, &*r2) {
+                (Process::Nil, _) => r2,
+                (_, Process::Nil) => l2,
+                _ => {
+                    if l2 == *l && r2 == *r {
+                        p.clone()
+                    } else {
+                        Process::Sum(l2, r2).rc()
+                    }
+                }
+            }
+        }
+        Process::Par(l, r) => {
+            let (l2, r2) = (prune(l), prune(r));
+            match (&*l2, &*r2) {
+                (Process::Nil, _) => r2,
+                (_, Process::Nil) => l2,
+                _ => {
+                    if l2 == *l && r2 == *r {
+                        p.clone()
+                    } else {
+                        Process::Par(l2, r2).rc()
+                    }
+                }
+            }
+        }
+        Process::New(x, cont) => {
+            let c = prune(cont);
+            if matches!(&*c, Process::Nil) {
+                return c;
+            }
+            if !c.free_names().contains(*x) {
+                return c;
+            }
+            if c == *cont {
+                p.clone()
+            } else {
+                Process::New(*x, c).rc()
+            }
+        }
+        Process::Match(x, y, l, r) => {
+            let (l2, r2) = (prune(l), prune(r));
+            // A match whose branches are both nil is nil (C4/C5-adjacent
+            // but already justified by (x=y)p,p ~ p with p = nil).
+            if matches!(&*l2, Process::Nil) && matches!(&*r2, Process::Nil) {
+                return l2;
+            }
+            if l2 == *l && r2 == *r {
+                p.clone()
+            } else {
+                Process::Match(*x, *y, l2, r2).rc()
+            }
+        }
+        Process::Rec(def, args) => {
+            // Bodies are left untouched: pruning under a recursion binder
+            // is sound but the body is re-instantiated at every unfold
+            // anyway, and rewriting it would break syntactic sharing.
+            let _ = (def, args);
+            p.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn removes_nil_units() {
+        let a = crate::Name::new("a");
+        let p = par(nil(), par(out_(a, []), nil()));
+        assert_eq!(prune(&p), out_(a, []));
+        let q = sum(nil(), sum(out_(a, []), nil()));
+        assert_eq!(prune(&q), out_(a, []));
+    }
+
+    #[test]
+    fn removes_vacuous_restrictions() {
+        let [a, x] = names(["a", "x"]);
+        let p = new(x, out_(a, []));
+        assert_eq!(prune(&p), out_(a, []));
+        let q = new(x, out_(a, [x]));
+        assert_eq!(prune(&q), q, "live restriction kept");
+        assert_eq!(prune(&new(x, nil())), nil());
+    }
+
+    #[test]
+    fn prunes_under_prefixes() {
+        let a = crate::Name::new("a");
+        let p = out(a, [], par(nil(), nil()));
+        assert_eq!(prune(&p), out_(a, []));
+    }
+
+    #[test]
+    fn nil_match_collapses() {
+        let [x, y] = names(["x", "y"]);
+        assert_eq!(prune(&mat(x, y, nil(), par(nil(), nil()))), nil());
+        let live = mat(x, y, tau_(), nil());
+        assert_eq!(prune(&live), live);
+    }
+
+    #[test]
+    fn shares_unchanged_subterms() {
+        let a = crate::Name::new("a");
+        let p = out(a, [], out_(a, []));
+        let pruned = prune(&p);
+        assert!(std::sync::Arc::ptr_eq(&p, &pruned));
+    }
+}

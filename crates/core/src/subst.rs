@@ -1,0 +1,442 @@
+//! Capture-avoiding simultaneous substitution of names for names, and
+//! recursion unfolding.
+//!
+//! Substitutions are finite maps `σ : Name → Name`; applying one to a term
+//! renames free occurrences only, α-converting binders on demand to avoid
+//! capture. This is the workhorse of the early operational semantics
+//! (rule (3) of Table 3 instantiates input binders) and of the congruence
+//! `~c`, which closes `~₊` under all substitutions.
+
+use crate::name::{fresh_name, Name, NameSet};
+use crate::syntax::{Defs, Ident, Prefix, Process, RecDef, P};
+use std::collections::BTreeMap;
+
+/// A finite substitution of names for names. Names outside the map are
+/// fixed. The *proper domain* (`prdom` in the paper) is the set of `x`
+/// with `σ(x) ≠ x`.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Subst {
+    map: BTreeMap<Name, Name>,
+}
+
+impl Subst {
+    /// The identity substitution.
+    pub fn identity() -> Subst {
+        Subst::default()
+    }
+
+    /// The single-point substitution `[y/x]` (replace `x` by `y`).
+    pub fn single(x: Name, y: Name) -> Subst {
+        let mut s = Subst::default();
+        s.bind(x, y);
+        s
+    }
+
+    /// Builds a substitution from parallel slices: `[ys/xs]`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn parallel(xs: &[Name], ys: &[Name]) -> Subst {
+        assert_eq!(xs.len(), ys.len(), "substitution arity mismatch");
+        let mut s = Subst::default();
+        for (&x, &y) in xs.iter().zip(ys) {
+            s.bind(x, y);
+        }
+        s
+    }
+
+    /// Builds a substitution from (from, to) pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Name, Name)>) -> Subst {
+        let mut s = Subst::default();
+        for (x, y) in pairs {
+            s.bind(x, y);
+        }
+        s
+    }
+
+    /// Adds the mapping `x ↦ y` (dropping it if `x == y`).
+    pub fn bind(&mut self, x: Name, y: Name) -> &mut Self {
+        if x == y {
+            self.map.remove(&x);
+        } else {
+            self.map.insert(x, y);
+        }
+        self
+    }
+
+    /// Applies the substitution to a single name.
+    pub fn apply(&self, n: Name) -> Name {
+        self.map.get(&n).copied().unwrap_or(n)
+    }
+
+    /// `prdom(σ)` — names moved by the substitution.
+    pub fn proper_domain(&self) -> NameSet {
+        NameSet::from_iter(self.map.keys().copied())
+    }
+
+    /// `prcod(σ)` — images of moved names.
+    pub fn proper_codomain(&self) -> NameSet {
+        NameSet::from_iter(self.map.values().copied())
+    }
+
+    /// Whether the substitution is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `σ` is injective on the given set of names.
+    pub fn is_injective_on(&self, names: &NameSet) -> bool {
+        let mut seen = NameSet::new();
+        for n in names {
+            if !seen.insert(self.apply(n)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A copy with the given binders removed from the domain — the
+    /// substitution that applies *under* those binders.
+    fn without(&self, binders: &[Name]) -> Subst {
+        let mut s = self.clone();
+        for b in binders {
+            s.map.remove(b);
+        }
+        s
+    }
+
+    /// Applies the substitution to every name in a slice.
+    pub fn apply_all(&self, ns: &[Name]) -> Vec<Name> {
+        ns.iter().map(|&n| self.apply(n)).collect()
+    }
+
+    /// Applies the substitution to a process, avoiding capture by
+    /// α-converting binders when needed. Unchanged subtrees are shared,
+    /// not copied.
+    pub fn apply_process(&self, p: &P) -> P {
+        if self.is_identity() {
+            return p.clone();
+        }
+        self.go(p)
+    }
+
+    fn go(&self, p: &P) -> P {
+        // Fast path: nothing this substitution moves occurs free here.
+        if self
+            .proper_domain()
+            .is_disjoint(&p.free_names())
+        {
+            return p.clone();
+        }
+        match &**p {
+            Process::Nil => p.clone(),
+            Process::Act(pre, cont) => match pre {
+                Prefix::Tau => Process::Act(Prefix::Tau, self.go(cont)).rc(),
+                Prefix::Output(a, ys) => Process::Act(
+                    Prefix::Output(self.apply(*a), self.apply_all(ys)),
+                    self.go(cont),
+                )
+                .rc(),
+                Prefix::Input(a, binders) => {
+                    let (binders2, cont2, inner) = self.enter_binders(binders, cont);
+                    Process::Act(
+                        Prefix::Input(self.apply(*a), binders2),
+                        inner.go(&cont2),
+                    )
+                    .rc()
+                }
+            },
+            Process::Sum(l, r) => Process::Sum(self.go(l), self.go(r)).rc(),
+            Process::Par(l, r) => Process::Par(self.go(l), self.go(r)).rc(),
+            Process::New(x, cont) => {
+                let (bs, cont2, inner) = self.enter_binders(std::slice::from_ref(x), cont);
+                Process::New(bs[0], inner.go(&cont2)).rc()
+            }
+            Process::Match(x, y, l, r) => Process::Match(
+                self.apply(*x),
+                self.apply(*y),
+                self.go(l),
+                self.go(r),
+            )
+            .rc(),
+            Process::Call(id, args) => Process::Call(*id, self.apply_all(args)).rc(),
+            Process::Var(id, args) => Process::Var(*id, self.apply_all(args)).rc(),
+            Process::Rec(def, args) => {
+                let (params2, body2, inner) = self.enter_binders(&def.params, &def.body);
+                Process::Rec(
+                    RecDef {
+                        ident: def.ident,
+                        params: params2,
+                        body: inner.go(&body2),
+                    },
+                    self.apply_all(args),
+                )
+                .rc()
+            }
+        }
+    }
+
+    /// Prepares to substitute under `binders` scoping over `cont`: removes
+    /// the binders from the domain and α-renames any binder that would
+    /// capture an image of the substitution. Returns the (possibly renamed)
+    /// binders, the (possibly pre-renamed) continuation, and the
+    /// substitution to apply inside.
+    fn enter_binders(&self, binders: &[Name], cont: &P) -> (Vec<Name>, P, Subst) {
+        let inner = self.without(binders);
+        if inner.is_identity() {
+            return (binders.to_vec(), cont.clone(), inner);
+        }
+        // Capture check: a binder `b` captures if some free name `z` of the
+        // continuation (other than the binders) is mapped onto `b`.
+        let mut free = cont.free_names();
+        for b in binders {
+            free.remove(*b);
+        }
+        let mut renaming = Subst::identity();
+        let mut binders2 = binders.to_vec();
+        for b in &mut binders2 {
+            let captured = free.iter().any(|z| inner.apply(z) == *b);
+            if captured {
+                let b2 = fresh_name(&b.spelling());
+                renaming.bind(*b, b2);
+                *b = b2;
+            }
+        }
+        if renaming.is_identity() {
+            (binders2, cont.clone(), inner)
+        } else {
+            // The renaming targets globally fresh names, so applying it
+            // first can never itself capture.
+            (binders2, renaming.go(cont), inner)
+        }
+    }
+}
+
+/// Unfolds one step of syntactic recursion (rule (10)/(11) of the paper):
+/// `(rec X(x̃).p)⟨ỹ⟩  ↦  p[(rec X(x̃).p)/X, ỹ/x̃]`.
+pub fn unfold_rec(def: &RecDef, args: &[Name]) -> P {
+    assert_eq!(
+        def.params.len(),
+        args.len(),
+        "recursion arity mismatch for {}",
+        def.ident
+    );
+    let plugged = plug_rec(&def.body, def);
+    Subst::parallel(&def.params, args).apply_process(&plugged)
+}
+
+/// Replaces every occurrence `X⟨z̃⟩` of the recursion variable with the
+/// full recursive term `(rec X(x̃).p)⟨z̃⟩`, respecting shadowing by inner
+/// `rec X`.
+fn plug_rec(p: &P, def: &RecDef) -> P {
+    match &**p {
+        Process::Var(id, zs) if *id == def.ident => Process::Rec(def.clone(), zs.clone()).rc(),
+        Process::Nil | Process::Var(..) | Process::Call(..) => p.clone(),
+        Process::Act(pre, cont) => Process::Act(pre.clone(), plug_rec(cont, def)).rc(),
+        Process::Sum(l, r) => Process::Sum(plug_rec(l, def), plug_rec(r, def)).rc(),
+        Process::Par(l, r) => Process::Par(plug_rec(l, def), plug_rec(r, def)).rc(),
+        Process::New(x, cont) => Process::New(*x, plug_rec(cont, def)).rc(),
+        Process::Match(x, y, l, r) => {
+            Process::Match(*x, *y, plug_rec(l, def), plug_rec(r, def)).rc()
+        }
+        Process::Rec(inner, zs) if inner.ident == def.ident => {
+            // Inner `rec X` shadows the outer variable: stop.
+            Process::Rec(inner.clone(), zs.clone()).rc()
+        }
+        Process::Rec(inner, zs) => Process::Rec(
+            RecDef {
+                ident: inner.ident,
+                params: inner.params.clone(),
+                body: plug_rec(&inner.body, def),
+            },
+            zs.clone(),
+        )
+        .rc(),
+    }
+}
+
+/// Definition 12's `E(p)`: replaces every occurrence `X⟨ỹ⟩` of the free
+/// identifier `X` in `E` (as `Var` or `Call`) by `p[ỹ/z̃]`, where `z̃`
+/// (`params`) lists the names of `p` being abstracted. Occurrences under
+/// a shadowing `rec X` binder are left alone.
+///
+/// This is the plumbing behind the paper's open-process congruence:
+/// `E ~c F` means `E(p) ~c F(p)` for every `p`, and Lemma 15 lifts it
+/// through recursion.
+pub fn plug_ident(e: &P, x: Ident, params: &[Name], p: &P) -> P {
+    match &**e {
+        Process::Var(id, args) | Process::Call(id, args) if *id == x => {
+            assert_eq!(
+                args.len(),
+                params.len(),
+                "plug_ident: arity mismatch for {x}"
+            );
+            Subst::parallel(params, args).apply_process(p)
+        }
+        Process::Nil | Process::Var(..) | Process::Call(..) => e.clone(),
+        Process::Act(pre, cont) => {
+            Process::Act(pre.clone(), plug_ident(cont, x, params, p)).rc()
+        }
+        Process::Sum(l, r) => Process::Sum(
+            plug_ident(l, x, params, p),
+            plug_ident(r, x, params, p),
+        )
+        .rc(),
+        Process::Par(l, r) => Process::Par(
+            plug_ident(l, x, params, p),
+            plug_ident(r, x, params, p),
+        )
+        .rc(),
+        Process::New(n, cont) => Process::New(*n, plug_ident(cont, x, params, p)).rc(),
+        Process::Match(a, b, l, r) => Process::Match(
+            *a,
+            *b,
+            plug_ident(l, x, params, p),
+            plug_ident(r, x, params, p),
+        )
+        .rc(),
+        Process::Rec(def, args) if def.ident == x => {
+            // Shadowed: the inner rec rebinds X.
+            Process::Rec(def.clone(), args.clone()).rc()
+        }
+        Process::Rec(def, args) => Process::Rec(
+            RecDef {
+                ident: def.ident,
+                params: def.params.clone(),
+                body: plug_ident(&def.body, x, params, p),
+            },
+            args.clone(),
+        )
+        .rc(),
+    }
+}
+
+/// Resolves a `Call` against a definition environment:
+/// `A⟨ỹ⟩ ↦ body[ỹ/x̃]`. Returns `None` when `A` is undefined.
+pub fn unfold_call(defs: &Defs, id: Ident, args: &[Name]) -> Option<P> {
+    let def = defs.get(id)?;
+    assert_eq!(
+        def.params.len(),
+        args.len(),
+        "arity mismatch calling {} ({} params, {} args)",
+        id,
+        def.params.len(),
+        args.len()
+    );
+    Some(Subst::parallel(&def.params, args).apply_process(&def.body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn substitutes_free_occurrences() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        // (āb)[c/a] = c̄b
+        let p = out_(a, [b]);
+        let q = Subst::single(a, c).apply_process(&p);
+        assert_eq!(q, out_(c, [b]));
+    }
+
+    #[test]
+    fn binders_block_substitution() {
+        let [a, x, c] = names(["a", "x", "c"]);
+        // (a(x).x̄)[c/x] = a(x).x̄ — x is bound
+        let p = inp(a, [x], out_(x, []));
+        let q = Subst::single(x, c).apply_process(&p);
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn capture_is_avoided_under_input() {
+        let [a, x, z] = names(["a", "x", "z"]);
+        // (a(x). z̄⟨x⟩)[x/z] must NOT become a(x). x̄⟨x⟩
+        let p = inp(a, [x], out_(z, [x]));
+        let q = Subst::single(z, x).apply_process(&p);
+        match &*q {
+            Process::Act(Prefix::Input(sa, bs), cont) => {
+                assert_eq!(*sa, a);
+                let b2 = bs[0];
+                assert_ne!(b2, x, "binder must have been renamed");
+                assert_eq!(**cont, *out_(x, [b2]));
+            }
+            _ => panic!("shape changed"),
+        }
+    }
+
+    #[test]
+    fn capture_is_avoided_under_new() {
+        let [x, z, o] = names(["x", "z", "o"]);
+        // (νx z̄⟨x⟩)[x/z] ⇒ νx' x̄⟨x'⟩
+        let p = new(x, out_(z, [x]));
+        let q = Subst::single(z, x).apply_process(&p);
+        match &*q {
+            Process::New(b2, cont) => {
+                assert_ne!(*b2, x);
+                assert_eq!(**cont, *out_(x, [*b2]));
+            }
+            _ => panic!("shape changed"),
+        }
+        // Free names preserved up to the substitution.
+        assert!(q.free_names().contains(x));
+        assert!(!q.free_names().contains(z));
+        let _ = o;
+    }
+
+    #[test]
+    fn parallel_substitution_is_simultaneous() {
+        let [a, b] = names(["a", "b"]);
+        // swap a and b in āb
+        let p = out_(a, [b]);
+        let q = Subst::parallel(&[a, b], &[b, a]).apply_process(&p);
+        assert_eq!(q, out_(b, [a]));
+    }
+
+    #[test]
+    fn unfold_rec_substitutes_args_and_ties_knot() {
+        let [x, a] = names(["x", "a"]);
+        let xid = Ident::new("XU");
+        // (rec X(x). x̄.X⟨x⟩)⟨a⟩ unfolds to ā.(rec X(x). x̄.X⟨x⟩)⟨a⟩
+        let body = out(x, [], var(xid, [x]));
+        let def = RecDef {
+            ident: xid,
+            params: vec![x],
+            body,
+        };
+        let unfolded = unfold_rec(&def, &[a]);
+        match &*unfolded {
+            Process::Act(Prefix::Output(ch, _), cont) => {
+                assert_eq!(*ch, a);
+                match &**cont {
+                    Process::Rec(d, args) => {
+                        assert_eq!(d.ident, xid);
+                        assert_eq!(args, &vec![a]);
+                    }
+                    other => panic!("expected Rec, got {other:?}"),
+                }
+            }
+            other => panic!("expected output prefix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unfold_call_resolves_against_env() {
+        let [x, a] = names(["x", "a"]);
+        let id = Ident::new("Agent");
+        let mut defs = Defs::new();
+        defs.define(id, vec![x], out_(x, []));
+        let got = unfold_call(&defs, id, &[a]).unwrap();
+        assert_eq!(got, out_(a, []));
+        assert!(unfold_call(&defs, Ident::new("Missing"), &[]).is_none());
+    }
+
+    #[test]
+    fn injectivity_check() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        let s = Subst::from_pairs([(a, c), (b, c)]);
+        assert!(!s.is_injective_on(&NameSet::from_iter([a, b])));
+        assert!(s.is_injective_on(&NameSet::from_iter([a])));
+    }
+}

@@ -1,0 +1,478 @@
+//! Abstract syntax of the bπ-calculus (Table 1 of the paper).
+//!
+//! ```text
+//! p ::= nil | π.p | νx p | (x=y)p,q | p₁+p₂ | p₁‖p₂ | A⟨x̃⟩ | (rec X(x̃).p)⟨ỹ⟩
+//! π ::= x(ỹ) | x̄ỹ | τ
+//! ```
+//!
+//! Processes are immutable trees shared through [`P`] (an `Arc`), so that
+//! the rewriting-heavy algorithms (substitution, normalisation, transition
+//! derivation) can reuse unchanged subterms without copying. Equality on
+//! `Process` is *syntactic*; use [`crate::canon::alpha_eq`] for
+//! α-equivalence (rule (1) of Table 3).
+
+use crate::name::{Name, NameSet};
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::{Arc, LazyLock};
+
+/// Shared handle to a process term.
+pub type P = Arc<Process>;
+
+/// An interned process identifier (the `A` / `X` of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ident(u32);
+
+static IDENTS: LazyLock<RwLock<(Vec<String>, std::collections::HashMap<String, u32>)>> =
+    LazyLock::new(|| RwLock::new((Vec::new(), std::collections::HashMap::new())));
+
+impl Ident {
+    /// Interns a process identifier.
+    pub fn new(s: &str) -> Ident {
+        {
+            let g = IDENTS.read();
+            if let Some(&id) = g.1.get(s) {
+                return Ident(id);
+            }
+        }
+        let mut g = IDENTS.write();
+        if let Some(&id) = g.1.get(s) {
+            return Ident(id);
+        }
+        let id = u32::try_from(g.0.len()).expect("ident interner overflow");
+        g.0.push(s.to_owned());
+        g.1.insert(s.to_owned(), id);
+        Ident(id)
+    }
+
+    /// The spelling of the identifier.
+    pub fn spelling(self) -> String {
+        IDENTS.read().0[self.0 as usize].clone()
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&IDENTS.read().0[self.0 as usize])
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A communication prefix `π` — the basic actions of processes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Prefix {
+    /// `τ` — a silent internal step.
+    Tau,
+    /// `x(ỹ)` — input of the names `ỹ` (binders) on channel `x`.
+    Input(Name, Vec<Name>),
+    /// `x̄ỹ` — broadcast output of the names `ỹ` on channel `x`.
+    Output(Name, Vec<Name>),
+}
+
+impl Prefix {
+    /// The subject channel of the prefix, if any (`sub` in the paper;
+    /// `sub(τ)` is undefined and yields `None`).
+    pub fn subject(&self) -> Option<Name> {
+        match self {
+            Prefix::Tau => None,
+            Prefix::Input(a, _) | Prefix::Output(a, _) => Some(*a),
+        }
+    }
+
+    /// Free names of the prefix (the object names of an input are binders
+    /// and therefore *not* free).
+    pub fn free_names(&self) -> NameSet {
+        match self {
+            Prefix::Tau => NameSet::new(),
+            Prefix::Input(a, _) => NameSet::from_iter([*a]),
+            Prefix::Output(a, ys) => {
+                let mut s = NameSet::from_iter(ys.iter().copied());
+                s.insert(*a);
+                s
+            }
+        }
+    }
+}
+
+/// A bπ-calculus process term (Table 1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Process {
+    /// `nil` — the inert process.
+    Nil,
+    /// `π.p` — perform the prefix, then behave as `p`.
+    Act(Prefix, P),
+    /// `p + q` — nondeterministic choice.
+    Sum(P, P),
+    /// `p ‖ q` — parallel composition (broadcast-synchronising).
+    Par(P, P),
+    /// `νx p` — creation of a new local channel `x` scoped over `p`.
+    New(Name, P),
+    /// `(x=y)p,q` — behave as `p` if `x` and `y` are the same channel,
+    /// as `q` otherwise.
+    Match(Name, Name, P, P),
+    /// `A⟨ỹ⟩` — invocation of a (possibly mutually recursive) definition
+    /// from a [`Defs`] environment.
+    Call(Ident, Vec<Name>),
+    /// `(rec X(x̃).p)⟨ỹ⟩` — syntactic recursion; `x̃` are binders over `p`
+    /// and must contain all free names of `p` (as the paper stipulates).
+    Rec(RecDef, Vec<Name>),
+    /// `X⟨ỹ⟩` — an occurrence of the recursion variable `X` inside the
+    /// body of an enclosing `rec X`. Only meaningful under that binder.
+    Var(Ident, Vec<Name>),
+}
+
+/// The `rec X(x̃).p` part of a recursive term, shared so that unfolding a
+/// recursion does not copy the definition.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RecDef {
+    pub ident: Ident,
+    pub params: Vec<Name>,
+    pub body: P,
+}
+
+impl Process {
+    /// Wraps the process in a shared handle.
+    pub fn rc(self) -> P {
+        Arc::new(self)
+    }
+
+    /// Free names `fn(p)` — names not in the scope of any binder.
+    pub fn free_names(&self) -> NameSet {
+        let mut acc = NameSet::new();
+        self.collect_free(&mut acc);
+        acc
+    }
+
+    fn collect_free(&self, acc: &mut NameSet) {
+        match self {
+            Process::Nil => {}
+            Process::Act(pre, p) => {
+                acc.extend(&pre.free_names());
+                match pre {
+                    Prefix::Input(_, binders) => {
+                        let mut inner = p.free_names();
+                        for b in binders {
+                            inner.remove(*b);
+                        }
+                        acc.extend(&inner);
+                    }
+                    _ => p.collect_free(acc),
+                }
+            }
+            Process::Sum(p, q) | Process::Par(p, q) => {
+                p.collect_free(acc);
+                q.collect_free(acc);
+            }
+            Process::New(x, p) => {
+                let mut inner = p.free_names();
+                inner.remove(*x);
+                acc.extend(&inner);
+            }
+            Process::Match(x, y, p, q) => {
+                acc.insert(*x);
+                acc.insert(*y);
+                p.collect_free(acc);
+                q.collect_free(acc);
+            }
+            Process::Call(_, args) | Process::Var(_, args) => {
+                for a in args {
+                    acc.insert(*a);
+                }
+            }
+            Process::Rec(def, args) => {
+                let mut inner = def.body.free_names();
+                for x in &def.params {
+                    inner.remove(*x);
+                }
+                acc.extend(&inner);
+                for a in args {
+                    acc.insert(*a);
+                }
+            }
+        }
+    }
+
+    /// Bound names `bn(p)` — names occurring in a binding position.
+    pub fn bound_names(&self) -> NameSet {
+        let mut acc = NameSet::new();
+        self.collect_bound(&mut acc);
+        acc
+    }
+
+    fn collect_bound(&self, acc: &mut NameSet) {
+        match self {
+            Process::Nil | Process::Call(..) | Process::Var(..) => {}
+            Process::Act(pre, p) => {
+                if let Prefix::Input(_, binders) = pre {
+                    for b in binders {
+                        acc.insert(*b);
+                    }
+                }
+                p.collect_bound(acc);
+            }
+            Process::Sum(p, q) | Process::Par(p, q) => {
+                p.collect_bound(acc);
+                q.collect_bound(acc);
+            }
+            Process::New(x, p) => {
+                acc.insert(*x);
+                p.collect_bound(acc);
+            }
+            Process::Match(_, _, p, q) => {
+                p.collect_bound(acc);
+                q.collect_bound(acc);
+            }
+            Process::Rec(def, _) => {
+                for x in &def.params {
+                    acc.insert(*x);
+                }
+                def.body.collect_bound(acc);
+            }
+        }
+    }
+
+    /// All names `n(p) = fn(p) ∪ bn(p)`.
+    pub fn names(&self) -> NameSet {
+        self.free_names().union(&self.bound_names())
+    }
+
+    /// Number of syntax nodes — a size measure for budgets and benches.
+    pub fn size(&self) -> usize {
+        match self {
+            Process::Nil | Process::Call(..) | Process::Var(..) => 1,
+            Process::Act(_, p) | Process::New(_, p) => 1 + p.size(),
+            Process::Sum(p, q) | Process::Par(p, q) | Process::Match(_, _, p, q) => {
+                1 + p.size() + q.size()
+            }
+            Process::Rec(def, _) => 1 + def.body.size(),
+        }
+    }
+
+    /// Prefix-nesting depth (the `depth` measure of the completeness proof:
+    /// the maximal number of nested prefixes).
+    pub fn depth(&self) -> usize {
+        match self {
+            Process::Nil | Process::Call(..) | Process::Var(..) => 0,
+            Process::Act(_, p) => 1 + p.depth(),
+            Process::New(_, p) => p.depth(),
+            Process::Sum(p, q) | Process::Match(_, _, p, q) => p.depth().max(q.depth()),
+            Process::Par(p, q) => p.depth() + q.depth(),
+            Process::Rec(def, _) => def.body.depth(),
+        }
+    }
+
+    /// Whether the term is *finite*: free of `Call`, `Rec` and `Var`
+    /// (the fragment axiomatised in Section 5).
+    pub fn is_finite(&self) -> bool {
+        match self {
+            Process::Nil => true,
+            Process::Act(_, p) | Process::New(_, p) => p.is_finite(),
+            Process::Sum(p, q) | Process::Par(p, q) | Process::Match(_, _, p, q) => {
+                p.is_finite() && q.is_finite()
+            }
+            Process::Call(..) | Process::Rec(..) | Process::Var(..) => false,
+        }
+    }
+
+    /// Whether every recursion variable occurrence is *guarded* (underneath
+    /// a prefix), as the paper assumes for `rec`. `Call` invocations are
+    /// checked against `defs` (every cycle through definitions must pass a
+    /// prefix).
+    pub fn is_guarded(&self, defs: &Defs) -> bool {
+        fn go(p: &Process, defs: &Defs, unguarded: &mut Vec<Ident>) -> bool {
+            match p {
+                Process::Nil => true,
+                // Anything under a prefix is guarded: recursion variables
+                // below this point cannot fire without consuming the prefix.
+                Process::Act(_, _) => true,
+                Process::Sum(p, q) | Process::Par(p, q) | Process::Match(_, _, p, q) => {
+                    go(p, defs, unguarded) && go(q, defs, unguarded)
+                }
+                Process::New(_, p) => go(p, defs, unguarded),
+                Process::Var(x, _) => !unguarded.contains(x),
+                Process::Rec(def, _) => {
+                    unguarded.push(def.ident);
+                    let ok = go(&def.body, defs, unguarded);
+                    unguarded.pop();
+                    ok
+                }
+                Process::Call(a, _) => {
+                    if unguarded.contains(a) {
+                        return false;
+                    }
+                    match defs.get(*a) {
+                        None => true, // undefined: will error at unfold time
+                        Some(d) => {
+                            unguarded.push(*a);
+                            let ok = go(&d.body, defs, unguarded);
+                            unguarded.pop();
+                            ok
+                        }
+                    }
+                }
+            }
+        }
+        let mut stack = Vec::new();
+        // Also every `rec` body nested under prefixes must itself be
+        // guarded, so walk the full term.
+        fn walk(p: &Process, defs: &Defs, stack: &mut Vec<Ident>) -> bool {
+            if !go(p, defs, stack) {
+                return false;
+            }
+            match p {
+                Process::Act(_, q) | Process::New(_, q) => walk(q, defs, stack),
+                Process::Sum(a, b) | Process::Par(a, b) | Process::Match(_, _, a, b) => {
+                    walk(a, defs, stack) && walk(b, defs, stack)
+                }
+                Process::Rec(def, _) => walk(&def.body, defs, stack),
+                _ => true,
+            }
+        }
+        walk(self, defs, &mut stack)
+    }
+}
+
+/// One entry of a definition environment: `A(x̃) ≝ p`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Def {
+    pub params: Vec<Name>,
+    pub body: P,
+}
+
+/// An environment of (possibly mutually recursive) process definitions,
+/// used to resolve [`Process::Call`]. The worked examples of Section 2.2
+/// (Detector, Edge_manager, Item, Tr_Man, …) are expressed this way.
+#[derive(Clone, Default, Debug)]
+pub struct Defs {
+    map: std::collections::BTreeMap<Ident, Def>,
+}
+
+impl Defs {
+    /// An empty environment (all `Call`s unresolved).
+    pub fn new() -> Defs {
+        Defs::default()
+    }
+
+    /// Adds (or replaces) the definition `name(params) ≝ body`.
+    pub fn define(&mut self, name: Ident, params: Vec<Name>, body: P) -> &mut Self {
+        self.map.insert(name, Def { params, body });
+        self
+    }
+
+    /// Looks up a definition.
+    pub fn get(&self, name: Ident) -> Option<&Def> {
+        self.map.get(&name)
+    }
+
+    /// Iterates over all definitions.
+    pub fn iter(&self) -> impl Iterator<Item = (Ident, &Def)> {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn free_names_of_input_excludes_binders() {
+        // a(x).x̄⟨b⟩ : free = {a, b}
+        let a = Name::new("a");
+        let b = Name::new("b");
+        let x = Name::new("x");
+        let p = inp(a, [x], out(x, [b], nil()));
+        let f = p.free_names();
+        assert!(f.contains(a) && f.contains(b) && !f.contains(x));
+    }
+
+    #[test]
+    fn free_names_of_restriction() {
+        // νx (x̄⟨a⟩) : free = {a}
+        let a = Name::new("a");
+        let x = Name::new("x");
+        let p = new(x, out(x, [a], nil()));
+        let f = p.free_names();
+        assert!(f.contains(a) && !f.contains(x));
+    }
+
+    #[test]
+    fn match_names_are_free() {
+        let (a, b) = (Name::new("a"), Name::new("b"));
+        let p = mat(a, b, nil(), nil());
+        assert_eq!(p.free_names().len(), 2);
+    }
+
+    #[test]
+    fn rec_params_bind() {
+        // (rec X(x). x̄⟨x⟩.X⟨x⟩)⟨a⟩ : free = {a}
+        let a = Name::new("a");
+        let x = Name::new("x");
+        let xid = Ident::new("X");
+        let body = out(x, [x], var(xid, [x]));
+        let p = rec(xid, [x], body, [a]);
+        let f = p.free_names();
+        assert!(f.contains(a) && !f.contains(x));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let a = Name::new("a");
+        let p = par(tau(tau(nil())), out(a, [], nil()));
+        assert_eq!(p.size(), 6);
+        assert_eq!(p.depth(), 3); // parallel depths add
+    }
+
+    #[test]
+    fn guardedness() {
+        let x = Name::new("x");
+        let xid = Ident::new("Xg");
+        let defs = Defs::new();
+        // (rec X(x). τ.X⟨x⟩)⟨x⟩ is guarded
+        let good = rec(xid, [x], tau(var(xid, [x])), [x]);
+        assert!(good.is_guarded(&defs));
+        // (rec X(x). X⟨x⟩ + τ.nil)⟨x⟩ is not
+        let bad = rec(xid, [x], sum(var(xid, [x]), tau(nil())), [x]);
+        assert!(!bad.is_guarded(&defs));
+    }
+
+    #[test]
+    fn guardedness_through_defs() {
+        let a = Ident::new("LoopA");
+        let b = Ident::new("LoopB");
+        let mut defs = Defs::new();
+        // LoopA ≝ LoopB ; LoopB ≝ LoopA — unguarded cycle
+        defs.define(a, vec![], call(b, []));
+        defs.define(b, vec![], call(a, []));
+        assert!(!call(a, []).is_guarded(&defs));
+        // LoopB' ≝ τ.LoopA' is fine
+        let a2 = Ident::new("LoopA2");
+        let b2 = Ident::new("LoopB2");
+        let mut defs2 = Defs::new();
+        defs2.define(a2, vec![], call(b2, []));
+        defs2.define(b2, vec![], tau(call(a2, [])));
+        assert!(call(a2, []).is_guarded(&defs2));
+    }
+
+    #[test]
+    fn finiteness() {
+        let a = Name::new("a");
+        assert!(out(a, [], nil()).is_finite());
+        assert!(!call(Ident::new("A"), [a]).is_finite());
+    }
+}

@@ -1,0 +1,117 @@
+//! A CBS-style statically-scoped fragment, for contrast with the full
+//! bπ-calculus.
+//!
+//! Prasad's CBS — the paper's closest predecessor — broadcasts values
+//! over a *statically fixed* medium: there is no channel restriction
+//! and no way to acquire new listening topics at run time. Section 6
+//! argues that bπ's contribution is exactly the combination of **local
+//! scoping** (`νx`) and **name-passing**, which yields dynamic scoping:
+//! "it is essential that communications be kept separate so that there
+//! is no risk of interference between the multiple instances of a
+//! protocol executed simultaneously".
+//!
+//! This module makes that argument executable:
+//!
+//! * [`shared_instances`] runs two instances of a tiny request/response
+//!   protocol on one shared (CBS-style) channel — cross-talk between
+//!   the instances is reachable;
+//! * [`scoped_instances`] wraps each instance in its own `νc` — the
+//!   cross-talk states are gone from the full state space;
+//! * [`late_joiner`] demonstrates dynamic group acquisition: a process
+//!   that *receives* a channel name starts hearing broadcasts on it —
+//!   inexpressible with a static listening interface.
+
+use bpi_core::builder::*;
+use bpi_core::name::Name;
+use bpi_core::syntax::{Defs, P};
+use bpi_semantics::{explore, ExploreOpts};
+
+/// One protocol instance: a sender broadcasting `val` on `c` and a
+/// receiver republishing whatever it hears on its own observation
+/// channel.
+pub fn protocol_instance(c: Name, val: Name, obs: Name) -> P {
+    let x = Name::intern_raw("cbx");
+    par(out_(c, [val]), inp(c, [x], out_(obs, [x])))
+}
+
+/// Two instances on one **shared** channel (the CBS situation).
+pub fn shared_instances() -> (P, Name, Name, Name, Name) {
+    let c = Name::intern_raw("medium");
+    let (v1, v2) = (Name::intern_raw("val1"), Name::intern_raw("val2"));
+    let (o1, o2) = (Name::intern_raw("obsA"), Name::intern_raw("obsB"));
+    let sys = par(
+        protocol_instance(c, v1, o1),
+        protocol_instance(c, v2, o2),
+    );
+    (sys, v1, v2, o1, o2)
+}
+
+/// Two instances, each under its **own restriction** (the bπ idiom).
+pub fn scoped_instances() -> (P, Name, Name, Name, Name) {
+    let c = Name::intern_raw("medium");
+    let (v1, v2) = (Name::intern_raw("val1"), Name::intern_raw("val2"));
+    let (o1, o2) = (Name::intern_raw("obsA"), Name::intern_raw("obsB"));
+    let sys = par(
+        new(c, protocol_instance(c, v1, o1)),
+        new(c, protocol_instance(c, v2, o2)),
+    );
+    (sys, v1, v2, o1, o2)
+}
+
+/// Whether the state space contains an output `obs⟨val⟩`.
+pub fn observes(sys: &P, obs: Name, val: Name) -> bool {
+    let defs = Defs::new();
+    let g = explore(sys, &defs, ExploreOpts::default());
+    assert!(!g.truncated, "protocol state space must be finite");
+    g.edges.iter().flatten().any(|(act, _)| {
+        act.is_output() && act.subject() == Some(obs) && act.objects() == [val]
+    })
+}
+
+/// Dynamic scoping demo: a joiner that first *receives* the name of a
+/// private medium on `intro`, then listens there; the owner broadcasts
+/// the medium name followed by a payload. Returns
+/// `(system, obs, payload)`.
+pub fn late_joiner() -> (P, Name, Name) {
+    let intro = Name::intern_raw("intro");
+    let payload = Name::intern_raw("payload");
+    let obs = Name::intern_raw("obsJ");
+    let m = Name::intern_raw("medium'");
+    let (g, x) = (Name::intern_raw("jg"), Name::intern_raw("jx"));
+    let owner = new(m, out(intro, [m], out_(m, [payload])));
+    let joiner = inp(intro, [g], inp(g, [x], out_(obs, [x])));
+    (par(owner, joiner), obs, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_channel_cross_talk_is_reachable() {
+        let (sys, v1, v2, o1, o2) = shared_instances();
+        // Instance A can end up republishing instance B's value…
+        assert!(observes(&sys, o1, v2), "expected cross-talk A←B");
+        assert!(observes(&sys, o2, v1), "expected cross-talk B←A");
+        // …as well as its own.
+        assert!(observes(&sys, o1, v1));
+    }
+
+    #[test]
+    fn restriction_eliminates_cross_talk() {
+        let (sys, v1, v2, o1, o2) = scoped_instances();
+        assert!(observes(&sys, o1, v1), "own value still delivered");
+        assert!(observes(&sys, o2, v2));
+        assert!(!observes(&sys, o1, v2), "cross-talk must be impossible");
+        assert!(!observes(&sys, o2, v1));
+    }
+
+    #[test]
+    fn received_names_become_listening_topics() {
+        let (sys, obs, payload) = late_joiner();
+        assert!(
+            observes(&sys, obs, payload),
+            "joiner never heard the private medium it was introduced to"
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! §6 expressiveness: a Random Access Machine encoded in the bπ-calculus.
+//!
+//! The paper notes that "it is easy to give an implementation … of a
+//! Random Access Machine", establishing Turing-completeness. We build
+//! the classical counter-machine encoding:
+//!
+//! * a **register** is a chain of cell processes linked by private
+//!   channels — value `n` = `n` successor cells ending in a zero cell.
+//!   The head listens on the register's public channel for
+//!   `⟨op, ret⟩` requests (`op ∈ {inc, dec}`) and answers `⟨ok⟩` or
+//!   `⟨zero⟩` on the private return channel. A decremented head turns
+//!   into a forwarder, delegating to the next cell — name-passing makes
+//!   the delegation chain first-class;
+//! * the **program counter** is a family of mutually recursive
+//!   definitions `I₀, I₁, …`, one per instruction, sequenced by private
+//!   return channels;
+//! * `halt` is broadcast on an observation channel, and results are
+//!   read back by a drain loop that decrements a register to zero,
+//!   ticking once per unit.
+//!
+//! The closed system is *deterministic* (a single control token), so a
+//! run of the LTS is an execution of the machine; a direct Rust
+//! interpreter serves as the baseline.
+
+use bpi_core::builder::*;
+use bpi_core::name::Name;
+use bpi_core::syntax::{Defs, Ident, P};
+use bpi_semantics::Simulator;
+
+/// Counter-machine instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RamInstr {
+    /// `INC r` — increment register `r`, fall through.
+    Inc(usize),
+    /// `DECJZ r, target` — if `r > 0` decrement and fall through,
+    /// otherwise jump to `target`.
+    DecJz(usize, usize),
+    /// `JMP target`.
+    Jmp(usize),
+    /// `HALT`.
+    Halt,
+}
+
+/// A counter-machine program.
+#[derive(Clone, Debug)]
+pub struct RamProgram {
+    pub instrs: Vec<RamInstr>,
+    /// Number of registers used.
+    pub n_regs: usize,
+}
+
+/// Baseline interpreter. Returns final register contents, or `None` if
+/// the step budget is exhausted.
+pub fn interpret(prog: &RamProgram, inputs: &[u64], max_steps: usize) -> Option<Vec<u64>> {
+    let mut regs = vec![0u64; prog.n_regs];
+    regs[..inputs.len()].copy_from_slice(inputs);
+    let mut pc = 0usize;
+    for _ in 0..max_steps {
+        match prog.instrs.get(pc)? {
+            RamInstr::Inc(r) => {
+                regs[*r] += 1;
+                pc += 1;
+            }
+            RamInstr::DecJz(r, tgt) => {
+                if regs[*r] > 0 {
+                    regs[*r] -= 1;
+                    pc += 1;
+                } else {
+                    pc = *tgt;
+                }
+            }
+            RamInstr::Jmp(tgt) => pc = *tgt,
+            RamInstr::Halt => return Some(regs),
+        }
+    }
+    None
+}
+
+fn reg_chan(r: usize) -> Name {
+    Name::intern_raw(&format!("reg{r}"))
+}
+
+/// Global tag names `(inc, dec, ok, zero)`.
+fn tags() -> (Name, Name, Name, Name) {
+    (
+        Name::intern_raw("op_inc"),
+        Name::intern_raw("op_dec"),
+        Name::intern_raw("rp_ok"),
+        Name::intern_raw("rp_zero"),
+    )
+}
+
+/// The halt observation channel.
+pub fn halt_chan() -> Name {
+    Name::intern_raw("halt")
+}
+
+/// The per-unit readout channel.
+pub fn tick_chan() -> Name {
+    Name::intern_raw("tick")
+}
+
+fn done_chan() -> Name {
+    Name::intern_raw("drained")
+}
+
+/// The zero cell `Z⟨io⟩`.
+fn zero_cell(io: Name) -> P {
+    let (inc, _dec, ok, zero) = tags();
+    let id = Ident::new("RamZ");
+    let (op, ret) = (Name::intern_raw("zop"), Name::intern_raw("zret"));
+    let io2 = Name::intern_raw("zio2");
+    // Z(io) = io(op,ret).[op=inc]{ νio2 (ret̄ok.S⟨io,io2⟩ ‖ Z⟨io2⟩) }
+    //                            { ret̄zero.Z⟨io⟩ }
+    let body = inp(
+        io,
+        [op, ret],
+        mat(
+            op,
+            inc,
+            new(
+                io2,
+                par(out(ret, [ok], succ_cell(io, io2)), var(id, [io2])),
+            ),
+            out(ret, [zero], var(id, [io])),
+        ),
+    );
+    rec(id, [io], body, [io])
+}
+
+/// The successor cell `S⟨io, inner⟩`.
+fn succ_cell(io: Name, inner: Name) -> P {
+    let (inc, _dec, ok, _zero) = tags();
+    let id = Ident::new("RamS");
+    let (op, ret) = (Name::intern_raw("sop"), Name::intern_raw("sret"));
+    let io2 = Name::intern_raw("sio2");
+    // S(io,inner) = io(op,ret).
+    //   [op=inc]{ νio2 (ret̄ok.S⟨io,io2⟩ ‖ S⟨io2,inner⟩) }
+    //           { ret̄ok.F⟨io,inner⟩ }
+    let body = inp(
+        io,
+        [op, ret],
+        mat(
+            op,
+            inc,
+            new(
+                io2,
+                par(
+                    out(ret, [ok], var(id, [io, io2])),
+                    var(id, [io2, inner]),
+                ),
+            ),
+            out(ret, [ok], forwarder(io, inner)),
+        ),
+    );
+    rec(id, [io, inner], body, [io, inner])
+}
+
+/// The delegation cell `F⟨io, inner⟩` left behind by a decrement.
+fn forwarder(io: Name, inner: Name) -> P {
+    let id = Ident::new("RamF");
+    let (op, ret) = (Name::intern_raw("fop"), Name::intern_raw("fret"));
+    let body = inp(
+        io,
+        [op, ret],
+        par(out_(inner, [op, ret]), var(id, [io, inner])),
+    );
+    rec(id, [io, inner], body, [io, inner])
+}
+
+/// A register process holding value `n`, listening on its public channel.
+pub fn register(r: usize, n: u64) -> P {
+    let mut links: Vec<Name> = vec![reg_chan(r)];
+    links.extend((0..n).map(|k| Name::intern_raw(&format!("lnk_{r}_{k}"))));
+    let mut cells: Vec<P> = Vec::new();
+    for w in links.windows(2) {
+        cells.push(succ_cell(w[0], w[1]));
+    }
+    cells.push(zero_cell(*links.last().unwrap()));
+    let inner: Vec<Name> = links[1..].to_vec();
+    new_many(inner, par_of(cells))
+}
+
+/// Compiles the program counter into a definition environment; returns
+/// the environment and the entry-point process (instruction 0).
+pub fn compile(prog: &RamProgram) -> (Defs, P) {
+    let (inc, dec, ok, _zero) = tags();
+    let mut defs = Defs::new();
+    let ident = |k: usize| Ident::new(&format!("RamI{k}"));
+    let ret = Name::intern_raw("pret");
+    let w = Name::intern_raw("pw");
+    for (k, instr) in prog.instrs.iter().enumerate() {
+        let body = match instr {
+            RamInstr::Inc(r) => new(
+                ret,
+                par(
+                    out_(reg_chan(*r), [inc, ret]),
+                    inp(ret, [w], call(ident(k + 1), [])),
+                ),
+            ),
+            RamInstr::DecJz(r, tgt) => new(
+                ret,
+                par(
+                    out_(reg_chan(*r), [dec, ret]),
+                    inp(
+                        ret,
+                        [w],
+                        mat(w, ok, call(ident(k + 1), []), call(ident(*tgt), [])),
+                    ),
+                ),
+            ),
+            RamInstr::Jmp(tgt) => tau(call(ident(*tgt), [])),
+            RamInstr::Halt => out_(halt_chan(), []),
+        };
+        defs.define(ident(k), vec![], body);
+    }
+    (defs, call(ident(0), []))
+}
+
+/// A drain loop that empties register `r`, broadcasting one `tick` per
+/// unit and `drained` at the end.
+fn drain(r: usize) -> P {
+    let (_inc, dec, ok, _zero) = tags();
+    let id = Ident::new("RamDrain");
+    let ret = Name::intern_raw("dret");
+    let w = Name::intern_raw("dw");
+    let io = reg_chan(r);
+    let body = new(
+        ret,
+        par(
+            out_(io, [dec, ret]),
+            inp(
+                ret,
+                [w],
+                mat(
+                    w,
+                    ok,
+                    out(tick_chan(), [], var(id, [io])),
+                    out_(done_chan(), []),
+                ),
+            ),
+        ),
+    );
+    rec(id, [io], body, [io])
+}
+
+/// Runs the encoded machine: registers initialised from `inputs`, then
+/// after `halt` the `result_reg` is drained. Returns the drained value,
+/// or `None` if the step budget is exhausted before `drained`.
+pub fn run_ram(
+    prog: &RamProgram,
+    inputs: &[u64],
+    result_reg: usize,
+    max_steps: usize,
+) -> Option<u64> {
+    let (defs, pc) = compile(prog);
+    let regs: Vec<P> = (0..prog.n_regs)
+        .map(|r| register(r, inputs.get(r).copied().unwrap_or(0)))
+        .collect();
+    // The drain starts once halt is broadcast.
+    let starter = inp(halt_chan(), [], drain(result_reg));
+    let sys = par_of(
+        std::iter::once(pc)
+            .chain(regs)
+            .chain(std::iter::once(starter)),
+    );
+    // The system is deterministic; a single seeded run is an execution.
+    let mut sim = Simulator::new(&defs, 0);
+    let trace = sim.run(&sys, max_steps);
+    if trace.saw_output_on(done_chan()) {
+        Some(trace.count_outputs_on(tick_chan()) as u64)
+    } else {
+        None
+    }
+}
+
+/// `r0 := r0 + r1` (destroys `r1`).
+pub fn program_add() -> RamProgram {
+    RamProgram {
+        instrs: vec![
+            RamInstr::DecJz(1, 3), // 0: if r1 == 0 jump to halt
+            RamInstr::Inc(0),      // 1
+            RamInstr::Jmp(0),      // 2
+            RamInstr::Halt,        // 3
+        ],
+        n_regs: 2,
+    }
+}
+
+/// `r1 := 2 * r0` (destroys `r0`).
+pub fn program_double() -> RamProgram {
+    RamProgram {
+        instrs: vec![
+            RamInstr::DecJz(0, 4), // 0: if r0 == 0 halt
+            RamInstr::Inc(1),      // 1
+            RamInstr::Inc(1),      // 2
+            RamInstr::Jmp(0),      // 3
+            RamInstr::Halt,        // 4
+        ],
+        n_regs: 2,
+    }
+}
+
+/// `r2 := r0 * r1` (destroys `r0`, cycles `r1` through `r3`).
+pub fn program_mul() -> RamProgram {
+    RamProgram {
+        instrs: vec![
+            // outer: while r0 > 0
+            RamInstr::DecJz(0, 9), // 0
+            // inner: move r1 to r3, incrementing r2 each unit
+            RamInstr::DecJz(1, 5), // 1
+            RamInstr::Inc(2),      // 2
+            RamInstr::Inc(3),      // 3
+            RamInstr::Jmp(1),      // 4
+            // restore r1 from r3
+            RamInstr::DecJz(3, 0), // 5
+            RamInstr::Inc(1),      // 6
+            RamInstr::Jmp(5),      // 7
+            RamInstr::Jmp(0),      // 8 (unreachable; keeps indices tidy)
+            RamInstr::Halt,        // 9
+        ],
+        n_regs: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_interpreter() {
+        assert_eq!(interpret(&program_add(), &[2, 3], 1000), Some(vec![5, 0]));
+        assert_eq!(interpret(&program_double(), &[3], 1000), Some(vec![0, 6]));
+        assert_eq!(
+            interpret(&program_mul(), &[2, 3], 10_000).map(|r| r[2]),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn encoded_add_matches() {
+        for (a, b) in [(0, 0), (2, 3), (4, 1)] {
+            let expect = interpret(&program_add(), &[a, b], 10_000).unwrap()[0];
+            let got = run_ram(&program_add(), &[a, b], 0, 20_000);
+            assert_eq!(got, Some(expect), "add({a},{b})");
+        }
+    }
+
+    #[test]
+    fn encoded_double_matches() {
+        for n in [0u64, 1, 3] {
+            let expect = interpret(&program_double(), &[n], 10_000).unwrap()[1];
+            let got = run_ram(&program_double(), &[n], 1, 20_000);
+            assert_eq!(got, Some(expect), "double({n})");
+        }
+    }
+
+    #[test]
+    fn encoded_mul_matches() {
+        let expect = interpret(&program_mul(), &[2, 2], 100_000).unwrap()[2];
+        let got = run_ram(&program_mul(), &[2, 2], 2, 120_000);
+        assert_eq!(got, Some(expect), "mul(2,2)");
+    }
+
+    #[test]
+    fn registers_answer_zero_on_empty_dec() {
+        // DECJZ on an empty register takes the jump immediately.
+        let prog = RamProgram {
+            instrs: vec![RamInstr::DecJz(0, 2), RamInstr::Inc(0), RamInstr::Halt],
+            n_regs: 1,
+        };
+        assert_eq!(run_ram(&prog, &[0], 0, 5_000), Some(0));
+    }
+}

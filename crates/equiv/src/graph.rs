@@ -1,0 +1,518 @@
+//! Finite transition graphs for bisimulation checking.
+//!
+//! A [`Graph`] is the reachable fragment of the full early LTS of one
+//! process, finitised in three ways:
+//!
+//! 1. **Inputs** are instantiated over a *name pool*: the free names of
+//!    the processes under comparison plus a few fresh representatives
+//!    (`#w0, #w1, …`). By Lemma 18 (injective renamings preserve `~`),
+//!    behaviour under one representative fresh name per input position
+//!    determines behaviour under all fresh names.
+//! 2. **Bound outputs** are normalised: the globally fresh names minted
+//!    by scope extrusion are renamed to deterministic representatives
+//!    `#b0, #b1, …` (smallest indices not free in the source state), so
+//!    matching bound outputs on both sides of a comparison carry
+//!    syntactically equal labels — exactly the `b̃ ∩ fn(p,q) = ∅`
+//!    canonical-representative convention of Definition 7.
+//! 3. **States** are α-canonicalised, making revisits detectable.
+//!
+//! Discard information (`p —a:→`) is stored per state so that checkers
+//! can form the `a(b)?` "input-or-discard" move sets of the paper.
+
+use bpi_core::action::Action;
+use bpi_core::canon::canon;
+use bpi_core::name::{Name, NameSet};
+use bpi_core::subst::Subst;
+use bpi_core::syntax::{Defs, P};
+use bpi_semantics::lts::{tuples, Lts};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Options for graph construction and bisimulation checking.
+#[derive(Clone, Copy, Debug)]
+pub struct Opts {
+    /// Maximum states per side before the checker panics (the paper's
+    /// theorems are stated for image-finite processes; exceeding this
+    /// budget means the subject is out of scope).
+    pub max_states: usize,
+    /// Number of fresh input representatives added to the pool.
+    pub fresh_inputs: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            max_states: 20_000,
+            fresh_inputs: 1,
+        }
+    }
+}
+
+/// The reachable, pool-instantiated, label-normalised LTS of one process.
+pub struct Graph {
+    /// α-canonical state representatives; index 0 is the seed.
+    pub states: Vec<P>,
+    /// Outgoing `τ`/output/input edges (no discard edges; see
+    /// [`Graph::discards`]).
+    pub edges: Vec<Vec<(Action, usize)>>,
+    /// Per state, the pool channels it discards.
+    pub discarding: Vec<NameSet>,
+    /// The global input pool used during construction.
+    pub pool: Vec<Name>,
+}
+
+/// Picks `k` fresh input representatives `#w0, #w1, …` avoiding `avoid`.
+pub fn fresh_pool_names(k: usize, avoid: &NameSet) -> Vec<Name> {
+    let mut out = Vec::with_capacity(k);
+    let mut i = 0usize;
+    while out.len() < k {
+        let n = Name::intern_raw(&format!("#w{i}"));
+        if !avoid.contains(n) {
+            out.push(n);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The shared pool for comparing `p` and `q`: their free names plus
+/// `fresh_inputs` fresh representatives.
+pub fn shared_pool(p: &P, q: &P, fresh_inputs: usize) -> Vec<Name> {
+    let mut fns = p.free_names().union(&q.free_names());
+    let fresh = fresh_pool_names(fresh_inputs, &fns);
+    let mut pool = fns.to_vec();
+    pool.extend(fresh.iter().copied());
+    for f in fresh {
+        fns.insert(f);
+    }
+    pool
+}
+
+/// Renames the extruded names of a bound output to deterministic
+/// representatives `#b0, #b1, …` (smallest indices whose names are not in
+/// `avoid`), rewriting both the label and the continuation.
+pub fn normalize_bound_output(act: Action, cont: P, avoid: &NameSet) -> (Action, P) {
+    let Action::Output {
+        chan,
+        objects,
+        bound,
+    } = act
+    else {
+        return (act, cont);
+    };
+    if bound.is_empty() {
+        return (
+            Action::Output {
+                chan,
+                objects,
+                bound,
+            },
+            cont,
+        );
+    }
+    let mut subst = Subst::identity();
+    let mut used = avoid.clone();
+    let mut reps = Vec::with_capacity(bound.len());
+    let mut i = 0usize;
+    for b in &bound {
+        let rep = loop {
+            let cand = Name::intern_raw(&format!("#b{i}"));
+            i += 1;
+            if !used.contains(cand) {
+                break cand;
+            }
+        };
+        used.insert(rep);
+        subst.bind(*b, rep);
+        reps.push(rep);
+    }
+    let objects = objects.into_iter().map(|o| subst.apply(o)).collect();
+    (
+        Action::Output {
+            chan,
+            objects,
+            bound: reps,
+        },
+        subst.apply_process(&cont),
+    )
+}
+
+impl Graph {
+    /// Builds the reachable graph of `seed` over `pool`.
+    ///
+    /// # Panics
+    /// Panics if more than `opts.max_states` states are reached.
+    pub fn build(seed: &P, defs: &Defs, pool: &[Name], opts: Opts) -> Graph {
+        let lts = Lts::new(defs);
+        let pool_set = NameSet::from_iter(pool.iter().copied());
+        // Flat binary keys: memcmp instead of tree hashing.
+        let mut index: HashMap<bytes::Bytes, usize> = HashMap::new();
+        let mut states = Vec::new();
+        let mut edges: Vec<Vec<(Action, usize)>> = Vec::new();
+        let mut discarding = Vec::new();
+
+        let s0 = canon(&bpi_core::prune(seed));
+        index.insert(bpi_core::encode(&s0), 0);
+        states.push(s0);
+        let mut work = vec![0usize];
+
+        while let Some(i) = work.pop() {
+            let src = states[i].clone();
+            let src_free = src.free_names();
+            // Dynamic pool: global pool plus extruded representatives that
+            // became free in this state (so later inputs can mention them).
+            let mut dyn_pool = pool.to_vec();
+            for n in &src_free {
+                if !pool_set.contains(n) && n.spelling().starts_with("#b") {
+                    dyn_pool.push(n);
+                }
+            }
+            let avoid = src_free.union(&pool_set);
+
+            let mut out = Vec::new();
+            let push = |act: Action,
+                            cont: P,
+                            states: &mut Vec<P>,
+                            index: &mut HashMap<bytes::Bytes, usize>,
+                            work: &mut Vec<usize>,
+                            out: &mut Vec<(Action, usize)>| {
+                let state = canon(&bpi_core::prune(&cont));
+                let key = bpi_core::encode(&state);
+                let j = *index.entry(key).or_insert_with(|| {
+                    assert!(
+                        states.len() < opts.max_states,
+                        "bisimulation graph exceeded {} states; \
+                         subject is not image-finite within budget",
+                        opts.max_states
+                    );
+                    let j = states.len();
+                    states.push(state);
+                    work.push(j);
+                    j
+                });
+                out.push((act, j));
+            };
+
+            for (act, cont) in lts.step_transitions(&src) {
+                let (act, cont) = normalize_bound_output(act, cont, &avoid);
+                push(act, cont, &mut states, &mut index, &mut work, &mut out);
+            }
+            for (act, cont) in lts.input_transitions(&src, &dyn_pool) {
+                push(act, cont, &mut states, &mut index, &mut work, &mut out);
+            }
+            let mut disc = NameSet::new();
+            for &a in &dyn_pool {
+                if lts.discards(&src, a) {
+                    disc.insert(a);
+                }
+            }
+            while edges.len() < states.len() {
+                edges.push(Vec::new());
+                discarding.push(NameSet::new());
+            }
+            edges[i] = out;
+            discarding[i] = disc;
+        }
+        // `states` may outrun `edges` when the last expansions created
+        // fresh states; pad (they are processed because `work` drains).
+        while edges.len() < states.len() {
+            edges.push(Vec::new());
+            discarding.push(NameSet::new());
+        }
+        Graph {
+            states,
+            edges,
+            discarding,
+            pool: pool.to_vec(),
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// τ-successors of state `i`.
+    pub fn tau_succs(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges[i]
+            .iter()
+            .filter(|(a, _)| matches!(a, Action::Tau))
+            .map(|(_, j)| *j)
+    }
+
+    /// Output edges of state `i`.
+    pub fn out_edges(&self, i: usize) -> impl Iterator<Item = (&Action, usize)> + '_ {
+        self.edges[i]
+            .iter()
+            .filter(|(a, _)| a.is_output())
+            .map(|(a, j)| (a, *j))
+    }
+
+    /// Input edges of state `i`.
+    pub fn input_edges(&self, i: usize) -> impl Iterator<Item = (&Action, usize)> + '_ {
+        self.edges[i]
+            .iter()
+            .filter(|(a, _)| a.is_input())
+            .map(|(a, j)| (a, *j))
+    }
+
+    /// Step-move edges (`τ` or output) of state `i`.
+    pub fn step_edges(&self, i: usize) -> impl Iterator<Item = (&Action, usize)> + '_ {
+        self.edges[i]
+            .iter()
+            .filter(|(a, _)| a.is_step_move())
+            .map(|(a, j)| (a, *j))
+    }
+
+    /// Whether state `i` discards channel `a`.
+    pub fn state_discards(&self, i: usize, a: Name) -> bool {
+        self.discarding[i].contains(a)
+    }
+
+    /// τ-closure of `i` (including `i`), as a sorted set.
+    pub fn tau_closure(&self, i: usize) -> BTreeSet<usize> {
+        self.closure(i, |a| matches!(a, Action::Tau))
+    }
+
+    /// Step-closure of `i` (τ and outputs), including `i`.
+    pub fn step_closure(&self, i: usize) -> BTreeSet<usize> {
+        self.closure(i, |a| a.is_step_move())
+    }
+
+    fn closure(&self, i: usize, keep: impl Fn(&Action) -> bool) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::from([i]);
+        let mut work = vec![i];
+        while let Some(k) = work.pop() {
+            for (a, j) in &self.edges[k] {
+                if keep(a) && seen.insert(*j) {
+                    work.push(*j);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Strong barbs of state `i`: subjects of its output edges.
+    pub fn strong_barbs(&self, i: usize) -> NameSet {
+        NameSet::from_iter(self.out_edges(i).filter_map(|(a, _)| a.subject()))
+    }
+
+    /// Weak barbs of state `i`.
+    pub fn weak_barbs(&self, i: usize) -> NameSet {
+        let mut s = NameSet::new();
+        for j in self.tau_closure(i) {
+            s.extend(&self.strong_barbs(j));
+        }
+        s
+    }
+
+    /// Weak step-barbs of state `i` (`⇓ₐ^φ`).
+    pub fn weak_step_barbs(&self, i: usize) -> NameSet {
+        let mut s = NameSet::new();
+        for j in self.step_closure(i) {
+            s.extend(&self.strong_barbs(j));
+        }
+        s
+    }
+
+    /// Weak moves `i ⇒ —α→ ⇒` for a specific non-τ label.
+    pub fn weak_label(&self, i: usize, label: &Action) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for j in self.tau_closure(i) {
+            for (a, k) in &self.edges[j] {
+                if a == label {
+                    out.extend(self.tau_closure(*k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Weak discard set: states `j'` with `i ⇒ j₁ —a:→ j₁ ⇒ j'` — i.e.
+    /// τ-reachable continuations of τ-reachable states that discard `a`.
+    pub fn weak_discard(&self, i: usize, a: Name) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for j in self.tau_closure(i) {
+            if self.state_discards(j, a) {
+                out.extend(self.tau_closure(j));
+            }
+        }
+        out
+    }
+
+    /// All input labels on channel `a` reachable in the τ-closure of `i`
+    /// (used when matching discard moves weakly).
+    pub fn weak_input_labels(&self, i: usize, a: Name) -> BTreeSet<Action> {
+        let mut out = BTreeSet::new();
+        for j in self.tau_closure(i) {
+            for (act, _) in self.input_edges(j) {
+                if act.subject() == Some(a) {
+                    out.insert(act.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The arities at which any state of the graph listens on `a`.
+    pub fn arities_on(&self, a: Name) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for es in &self.edges {
+            for (act, _) in es {
+                if act.is_input() && act.subject() == Some(a) {
+                    out.insert(act.objects().len());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Enumerates the collapsing substitutions induced by all partitions of
+/// `names` (each equivalence class is mapped to its least element). By
+/// Lemma 17.1 + Lemma 18 these finitely many substitutions suffice to
+/// decide the ∀σ quantification of `~c` (Definition 11).
+pub fn identification_substs(names: &NameSet) -> Vec<Subst> {
+    let names: Vec<Name> = names.to_vec();
+    let mut out = Vec::new();
+    // Enumerate set partitions via restricted growth strings.
+    fn go(names: &[Name], assignment: &mut Vec<usize>, max_block: usize, out: &mut Vec<Subst>) {
+        if assignment.len() == names.len() {
+            let mut blocks: BTreeMap<usize, Vec<Name>> = BTreeMap::new();
+            for (idx, &b) in assignment.iter().enumerate() {
+                blocks.entry(b).or_default().push(names[idx]);
+            }
+            let mut s = Subst::identity();
+            for block in blocks.values() {
+                let rep = block[0];
+                for &n in &block[1..] {
+                    s.bind(n, rep);
+                }
+            }
+            out.push(s);
+            return;
+        }
+        for b in 0..=max_block {
+            assignment.push(b);
+            go(
+                names,
+                assignment,
+                max_block.max(b + 1).min(names.len()),
+                out,
+            );
+            assignment.pop();
+        }
+    }
+    if names.is_empty() {
+        return vec![Subst::identity()];
+    }
+    go(&names, &mut Vec::new(), 0, &mut out);
+    out
+}
+
+/// The input tuple space of a channel over a pool, for a set of arities.
+pub fn label_space(pool: &[Name], arities: &BTreeSet<usize>) -> Vec<Vec<Name>> {
+    let mut out = Vec::new();
+    for &n in arities {
+        out.extend(tuples(pool, n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpi_core::builder::*;
+
+    #[test]
+    fn graph_of_simple_output() {
+        let defs = Defs::new();
+        let [a, v] = names(["a", "v"]);
+        let p = out_(a, [v]);
+        let q = nil();
+        let pool = shared_pool(&p, &q, 1);
+        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.out_edges(0).count(), 1);
+        assert!(g.state_discards(0, a), "output prefixes discard");
+    }
+
+    #[test]
+    fn input_edges_cover_pool() {
+        let defs = Defs::new();
+        let [a, x] = names(["a", "x"]);
+        let p = inp(a, [x], out_(x, []));
+        let pool = shared_pool(&p, &nil(), 1); // {a} + one fresh
+        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        assert_eq!(g.input_edges(0).count(), 2);
+        assert!(!g.state_discards(0, a));
+    }
+
+    #[test]
+    fn bound_outputs_are_normalised() {
+        let defs = Defs::new();
+        let [a, x] = names(["a", "x"]);
+        let p = new(x, out(a, [x], out_(x, [])));
+        let pool = shared_pool(&p, &nil(), 1);
+        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        let (act, _) = g.out_edges(0).next().unwrap();
+        assert_eq!(act.bound_names().len(), 1);
+        assert_eq!(act.bound_names()[0].spelling(), "#b0");
+        // Re-building yields the identical label: determinism.
+        let g2 = Graph::build(&p, &defs, &pool, Opts::default());
+        let (act2, _) = g2.out_edges(0).next().unwrap();
+        assert_eq!(act, act2);
+    }
+
+    #[test]
+    fn extrusion_recursion_has_finite_graph() {
+        // (rec X(a). νt āt.X⟨a⟩)⟨a⟩: with normalised bound outputs the
+        // graph is finite.
+        let defs = Defs::new();
+        let [a, t] = names(["a", "t"]);
+        let xid = bpi_core::syntax::Ident::new("GExtr");
+        let p = rec(xid, [a], new(t, out(a, [t], var(xid, [a]))), [a]);
+        let pool = shared_pool(&p, &nil(), 1);
+        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        assert_eq!(g.len(), 1, "states: {:?}", g.states);
+    }
+
+    #[test]
+    fn closures_and_barbs() {
+        let defs = Defs::new();
+        let [a, b] = names(["a", "b"]);
+        let p = sum(tau(out_(a, [])), out_(b, []));
+        let pool = shared_pool(&p, &nil(), 0);
+        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        assert_eq!(g.strong_barbs(0).to_vec(), vec![b]);
+        assert_eq!(g.weak_barbs(0).to_vec(), vec![a, b]);
+        assert_eq!(g.tau_closure(0).len(), 2);
+    }
+
+    #[test]
+    fn identification_substs_enumerate_partitions() {
+        let [a, b, c] = names(["a", "b", "c"]);
+        let subs = identification_substs(&NameSet::from_iter([a, b, c]));
+        assert_eq!(subs.len(), 5, "Bell(3) = 5");
+        assert!(subs.iter().any(|s| s.is_identity()));
+        // The all-identified substitution maps b and c to a.
+        assert!(subs
+            .iter()
+            .any(|s| s.apply(b) == a && s.apply(c) == a));
+    }
+
+    #[test]
+    fn weak_discard_traverses_taus() {
+        let defs = Defs::new();
+        let [a, x] = names(["a", "x"]);
+        // a(x).nil + τ.nil : can weakly discard a by taking the τ.
+        let p = sum(inp_(a, [x]), tau_());
+        let pool = shared_pool(&p, &nil(), 1);
+        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        assert!(!g.state_discards(0, a));
+        assert!(!g.weak_discard(0, a).is_empty());
+    }
+}

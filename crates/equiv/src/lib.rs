@@ -1,0 +1,39 @@
+//! # bpi-equiv — behavioural equivalences for the bπ-calculus
+//!
+//! Implements Sections 3 and 4 of Ene & Muntean (2001):
+//!
+//! * [`graph`] — finite, pool-instantiated, label-normalised transition
+//!   graphs used by all checkers;
+//! * [`bisim`] — barbed (Def. 3), step (Def. 5) and labelled (Defs. 7–8)
+//!   bisimilarity, strong and weak, by greatest-fixpoint pair refinement;
+//! * [`congruence`] — `~₊` (Def. 11), the strong congruence `~c`
+//!   (closure under all name identifications, per Lemmas 17–18), and
+//!   their weak counterparts (Defs. 14–15);
+//! * [`contexts`] — static-context closure testing: random static
+//!   contexts plus the paper's discriminating context families (the
+//!   tester `T` of Lemma 5 and `C₁` of Theorem 3);
+//! * [`arbitrary`] — seeded random generation of finite processes for
+//!   the sampled experiments.
+
+pub mod arbitrary;
+pub mod distinguish;
+pub mod bisim;
+pub mod congruence;
+pub mod contexts;
+pub mod graph;
+pub mod logic;
+pub mod sensors;
+pub mod testing;
+pub mod upto;
+
+pub use bisim::{
+    all_variants, strong_barbed_bisimilar, strong_bisimilar, strong_step_bisimilar,
+    weak_barbed_bisimilar, weak_bisimilar, weak_step_bisimilar, Checker, Variant,
+};
+pub use congruence::{congruent_strong, congruent_weak, sim_plus, weak_sim_plus};
+pub use distinguish::{explain, Distinction, Experiment, Side};
+pub use graph::{identification_substs, shared_pool, Graph, Opts};
+pub use logic::{sat, satisfies, Formula};
+pub use sensors::{sensor_context, sensors_separate, SensorBarbs};
+pub use testing::{may_equivalent_sampled, may_pass, trace_equivalent, traces, Test};
+pub use upto::{check_bisimulation_upto, UptoVerdict};

@@ -1,0 +1,225 @@
+//! The sensor construction of Lemma 12 — how barbed observation
+//! recovers full labelled bisimilarity.
+//!
+//! Theorem 1's hard direction builds, for every depth `m`, a context
+//! `C^n_{M,H,Y}[·] = [·] ‖ ASensor ‖ GSensor` placed under a restriction
+//! of **all** the processes' names. Restricting the working channels
+//! turns every interaction with the sensors into a `τ` (rule (6)), and
+//! the sensors leak what happened through *fresh, unrestricted* barb
+//! channels:
+//!
+//! * `GSensor` drives the processes: it can broadcast any pair of known
+//!   names, or receive on any known channel; each interaction offers a
+//!   `τ`-choice between *continuing* the game and *reporting* the
+//!   interaction as a barb gadget `W⟨a', b', tag⟩` — the primed names
+//!   are free mirror copies, so the report identifies exactly which
+//!   names took part, even though the originals are restricted;
+//! * received names outside the known set (extrusions) are paired with
+//!   reserve mirrors from `Y` and reported through the `new` tag;
+//! * `ASensor` (represented here by the depth-indexed `step` barbs of
+//!   the gadgets) bounds the game at `m` moves, which is enough for
+//!   image-finite processes (`≈ = ⋂ₘ ≈ᵐ`).
+//!
+//! [`sensor_context`] realises the construction for the monadic
+//! calculus; `tests/theorem1_coincidence.rs` and the unit tests below
+//! use it to *separate under weak barbed bisimilarity* pairs that plain
+//! barbed observation cannot tell apart — executably closing the gap
+//! `~b ⊇ ~` that Lemma 12 closes on paper.
+
+use bpi_core::builder::*;
+use bpi_core::name::{Name, NameSet};
+use bpi_core::syntax::P;
+
+/// The free observation channels of a sensor context.
+#[derive(Clone, Debug)]
+pub struct SensorBarbs {
+    /// Tag reported when the sensor *sent* into the processes.
+    pub tag_in: Name,
+    /// Tag reported when the sensor *received* from the processes.
+    pub tag_out: Name,
+    /// Tag reported when an unknown (extruded) name was received.
+    pub tag_new: Name,
+    /// Mirror (primed) copies of the known names, in `names` order.
+    pub mirrors: Vec<(Name, Name)>,
+}
+
+/// The barb gadget `W⟨u, v, t⟩ = ū + τ.(v̄ + τ.t̄)` (the paper's `W`):
+/// the three identifying barbs are separated by `τ`s, not by outputs,
+/// so *weak barbed* observation can walk through all of them and pin
+/// down exactly which interaction was reported.
+fn w_gadget(u: Name, v: Name, t: Name) -> P {
+    sum(out_(u, []), tau(sum(out_(v, []), tau(out_(t, [])))))
+}
+
+fn mirror_of(n: Name, mirrors: &[(Name, Name)]) -> Name {
+    mirrors
+        .iter()
+        .find(|(orig, _)| *orig == n)
+        .map(|(_, m)| *m)
+        .unwrap_or(n)
+}
+
+/// Builds `GSensor_m` over the known names `h` with reserve mirrors for
+/// up to `m` learned names.
+fn gsensor(h: &[Name], mirrors: &[(Name, Name)], reserves: &[Name], b: &SensorBarbs, m: usize) -> P {
+    if m == 0 {
+        return nil();
+    }
+    let y = Name::intern_raw("#gy");
+    let mut summands: Vec<P> = Vec::new();
+    // Send phase: broadcast any pair ⟨a, b⟩ of known names, then either
+    // keep playing or report "in ⟨a', b'⟩".
+    for &a in h {
+        for &v in h {
+            let continue_game = tau(gsensor(h, mirrors, reserves, b, m - 1));
+            let report = tau(w_gadget(mirror_of(a, mirrors), mirror_of(v, mirrors), b.tag_in));
+            summands.push(out(a, [v], sum(continue_game, report)));
+        }
+    }
+    // Receive phase: listen on any known channel; case-split the value
+    // over the known names; unknown values are adopted with a reserve
+    // mirror and reported as "new".
+    for &a in h {
+        let unknown_branch = if let Some((&fresh_mirror, rest)) = reserves.split_first() {
+            let mut h2 = h.to_vec();
+            h2.push(y);
+            let mut mirrors2 = mirrors.to_vec();
+            mirrors2.push((y, fresh_mirror));
+            sum(
+                tau(gsensor(&h2, &mirrors2, rest, b, m - 1)),
+                tau(w_gadget(mirror_of(a, mirrors), b.tag_new, b.tag_out)),
+            )
+        } else {
+            tau(w_gadget(mirror_of(a, mirrors), b.tag_new, b.tag_out))
+        };
+        let mut case = unknown_branch;
+        for &k in h {
+            case = mat(
+                y,
+                k,
+                sum(
+                    tau(gsensor(h, mirrors, reserves, b, m - 1)),
+                    tau(w_gadget(mirror_of(a, mirrors), mirror_of(k, mirrors), b.tag_out)),
+                ),
+                case,
+            );
+        }
+        summands.push(inp(a, [y], case));
+    }
+    sum_of(summands)
+}
+
+/// Builds the depth-`m` sensor context for processes with free names
+/// `fns`: returns a closure plugging a process into
+/// `ν fns ([·] ‖ GSensor_m)`, plus the observation channels.
+pub fn sensor_context(fns: &NameSet, m: usize) -> (impl Fn(&P) -> P, SensorBarbs) {
+    let names: Vec<Name> = fns.to_vec();
+    let mut avoid = fns.clone();
+    let mut fresh = |base: &str| {
+        let mut s = base.to_owned();
+        loop {
+            let n = Name::intern_raw(&s);
+            if !avoid.contains(n) {
+                avoid.insert(n);
+                return n;
+            }
+            s.push('\'');
+        }
+    };
+    let mirrors: Vec<(Name, Name)> = names
+        .iter()
+        .map(|&n| (n, fresh(&format!("{n}'"))))
+        .collect();
+    let reserves: Vec<Name> = (0..m).map(|i| fresh(&format!("fresh{i}"))).collect();
+    let barbs = SensorBarbs {
+        tag_in: fresh("gin"),
+        tag_out: fresh("gout"),
+        tag_new: fresh("gnew"),
+        mirrors: mirrors.clone(),
+    };
+    let b2 = barbs.clone();
+    let names2 = names.clone();
+    let plug = move |p: &P| {
+        let gs = gsensor(&names2, &b2.mirrors, &reserves, &b2, m);
+        new_many(names2.clone(), par(p.clone(), gs))
+    };
+    (plug, barbs)
+}
+
+/// Decides whether the depth-`m` sensor context separates `p` and `q`
+/// under **weak barbed** bisimilarity — the executable content of
+/// Lemma 12's m-bisimulation tester.
+pub fn sensors_separate(
+    p: &P,
+    q: &P,
+    defs: &bpi_core::syntax::Defs,
+    m: usize,
+    opts: crate::graph::Opts,
+) -> bool {
+    let fns = p.free_names().union(&q.free_names());
+    let (plug, _barbs) = sensor_context(&fns, m);
+    let checker = crate::bisim::Checker::with_opts(defs, opts);
+    !checker.bisimilar(crate::bisim::Variant::WeakBarbed, &plug(p), &plug(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpi_core::syntax::Defs;
+
+    fn d() -> Defs {
+        Defs::new()
+    }
+
+    fn opts() -> crate::graph::Opts {
+        crate::graph::Opts {
+            max_states: 60_000,
+            fresh_inputs: 1,
+        }
+    }
+
+    #[test]
+    fn separates_differing_outputs_at_depth_1() {
+        // āb vs āc: plain weak-barbed-blind after νa νb νc, but the
+        // sensor hears the value and reports distinct mirrors.
+        let [a, b, c] = names(["a", "b", "c"]);
+        let p = out_(a, [b]);
+        let q = out_(a, [c]);
+        assert!(sensors_separate(&p, &q, &d(), 1, opts()));
+    }
+
+    #[test]
+    fn separates_input_behaviour_at_depth_2() {
+        // a(x).(x=b)c̄x vs a(x).nil: the sensor must *send* b, then
+        // *hear* the c̄⟨b⟩ response — two rounds. (The construction is
+        // monadic, like Section 5, so the response carries a value.)
+        let [a, b, c, x] = names(["a", "b", "c", "x"]);
+        let p = inp(a, [x], mat_(x, b, out_(c, [x])));
+        let q = inp_(a, [x]);
+        assert!(!sensors_separate(&p, &q, &d(), 1, opts()), "depth 1 is blind");
+        assert!(sensors_separate(&p, &q, &d(), 2, opts()), "depth 2 sees it");
+    }
+
+    #[test]
+    fn does_not_separate_bisimilar_pairs() {
+        let [a, b] = names(["a", "b"]);
+        let p = out(a, [b], nil());
+        let q = par(p.clone(), nil());
+        for m in 1..=2 {
+            assert!(
+                !sensors_separate(&p, &q, &d(), m, opts()),
+                "sensors must not split a bisimilar pair at depth {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn separates_bound_output_from_free() {
+        // νt āt vs āb: the extruded name is unknown to the sensor and
+        // reported through the `new` tag.
+        let [a, b, t] = names(["a", "b", "t"]);
+        let p = new(t, out_(a, [t]));
+        let q = out_(a, [b]);
+        assert!(sensors_separate(&p, &q, &d(), 1, opts()));
+    }
+}

@@ -1,0 +1,254 @@
+//! The discard relation `p —a:→` of Table 2.
+//!
+//! `p —a:→` reads "`p` discards all outputs made on the channel `a`": a
+//! process ignores every broadcast on the channels it is not listening to.
+//! This relation is what makes broadcast non-blocking — in a parallel
+//! composition the non-listening components stay put (rule (14) of
+//! Table 3) while the listeners all receive.
+//!
+//! Table 2:
+//!
+//! ```text
+//! (1) nil —a:→           (2) τ.p —a:→           (3) b̄ỹ.p —a:→
+//! (4) b(x̃).p —a:→  if a ≠ b
+//! (5) νx p —a:→    if p —a:→ (α-converting x away from a)
+//! (6) p₁+p₂ —a:→   if p₁ —a:→ and p₂ —a:→
+//! (7,8) (x=y)p₁,p₂ —a:→ follows the selected branch
+//! (9) p₁‖p₂ —a:→   if p₁ —a:→ and p₂ —a:→
+//! (10) recursion: unfold
+//! ```
+
+use bpi_core::name::{fresh_name, Name, NameSet};
+use bpi_core::subst::{unfold_call, unfold_rec, Subst};
+use bpi_core::syntax::{Defs, Prefix, Process, P};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Safety budget on consecutive recursion unfoldings while searching for
+/// the first layer of prefixes. Guarded recursion (which the paper
+/// assumes) never comes close; exceeding it indicates an unguarded
+/// definition and panics with a diagnostic.
+pub const MAX_UNFOLD: usize = 512;
+
+pub(crate) fn unfold_guard(depth: usize, what: &str) {
+    assert!(
+        depth <= MAX_UNFOLD,
+        "exceeded {MAX_UNFOLD} consecutive recursion unfoldings while computing {what}; \
+         is a definition unguarded?"
+    );
+}
+
+/// Whether `p —a:→` (Table 2): `p` ignores broadcasts on `a`.
+pub fn discards(p: &P, a: Name, defs: &Defs) -> bool {
+    discards_at(p, a, defs, 0)
+}
+
+fn discards_at(p: &P, a: Name, defs: &Defs, depth: usize) -> bool {
+    unfold_guard(depth, "the discard relation");
+    match &**p {
+        Process::Nil => true,
+        Process::Act(Prefix::Tau, _) | Process::Act(Prefix::Output(..), _) => true,
+        Process::Act(Prefix::Input(b, _), _) => a != *b,
+        Process::New(x, inner) => {
+            if *x == a {
+                // α-convert the binder away from `a` (rule (5)'s side
+                // condition): under νx with x = a, the bound x is a
+                // different channel from the observed `a`.
+                let f = fresh_name(&x.spelling());
+                let renamed = Subst::single(*x, f).apply_process(inner);
+                discards_at(&renamed, a, defs, depth)
+            } else {
+                discards_at(inner, a, defs, depth)
+            }
+        }
+        Process::Sum(l, r) | Process::Par(l, r) => {
+            discards_at(l, a, defs, depth) && discards_at(r, a, defs, depth)
+        }
+        Process::Match(x, y, l, r) => {
+            if x == y {
+                discards_at(l, a, defs, depth)
+            } else {
+                discards_at(r, a, defs, depth)
+            }
+        }
+        Process::Rec(def, args) => discards_at(&unfold_rec(def, args), a, defs, depth + 1),
+        Process::Call(id, args) => {
+            let unfolded = unfold_call(defs, *id, args)
+                .unwrap_or_else(|| panic!("call to undefined process identifier {id}"));
+            discards_at(&unfolded, a, defs, depth + 1)
+        }
+        Process::Var(id, _) => panic!("free recursion variable {id} reached the semantics"),
+    }
+}
+
+/// The *listening interface* of `p`: for every channel `a` with an
+/// unguarded input `a(x̃)` (i.e. `p` does **not** discard `a`), the set of
+/// arities `|x̃|` it can receive. This is `In(p)` of Section 5, enriched
+/// with arities for the polyadic calculus.
+pub fn input_arities(p: &P, defs: &Defs) -> BTreeMap<Name, BTreeSet<usize>> {
+    let mut out = BTreeMap::new();
+    collect_arities(p, defs, 0, &mut out);
+    out
+}
+
+fn collect_arities(
+    p: &P,
+    defs: &Defs,
+    depth: usize,
+    out: &mut BTreeMap<Name, BTreeSet<usize>>,
+) {
+    unfold_guard(depth, "the listening interface");
+    match &**p {
+        Process::Nil => {}
+        Process::Act(Prefix::Input(b, xs), _) => {
+            out.entry(*b).or_default().insert(xs.len());
+        }
+        Process::Act(_, _) => {}
+        Process::New(x, inner) => {
+            let mut sub = BTreeMap::new();
+            collect_arities(inner, defs, depth, &mut sub);
+            sub.remove(x);
+            for (k, v) in sub {
+                out.entry(k).or_default().extend(v);
+            }
+        }
+        Process::Sum(l, r) | Process::Par(l, r) => {
+            collect_arities(l, defs, depth, out);
+            collect_arities(r, defs, depth, out);
+        }
+        Process::Match(x, y, l, r) => {
+            collect_arities(if x == y { l } else { r }, defs, depth, out);
+        }
+        Process::Rec(def, args) => collect_arities(&unfold_rec(def, args), defs, depth + 1, out),
+        Process::Call(id, args) => {
+            let unfolded = unfold_call(defs, *id, args)
+                .unwrap_or_else(|| panic!("call to undefined process identifier {id}"));
+            collect_arities(&unfolded, defs, depth + 1, out)
+        }
+        Process::Var(id, _) => panic!("free recursion variable {id} reached the semantics"),
+    }
+}
+
+/// The set of channels `p` is currently listening on (`In(p)`).
+pub fn listening(p: &P, defs: &Defs) -> NameSet {
+    NameSet::from_iter(input_arities(p, defs).into_keys())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpi_core::builder::*;
+    use bpi_core::syntax::Ident;
+
+    fn d() -> Defs {
+        Defs::new()
+    }
+
+    #[test]
+    fn nil_and_prefixes_discard_everything() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        assert!(discards(&nil(), a, &d()));
+        assert!(discards(&tau_(), a, &d()));
+        assert!(discards(&out_(b, [x]), a, &d()));
+        // even an output on `a` itself discards incoming broadcasts on `a`
+        assert!(discards(&out_(a, [x]), a, &d()));
+    }
+
+    #[test]
+    fn input_listens_on_its_subject_only() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        let p = inp_(a, [x]);
+        assert!(!discards(&p, a, &d()));
+        assert!(discards(&p, b, &d()));
+    }
+
+    #[test]
+    fn restriction_hides_local_listening() {
+        let [a, x] = names(["a", "x"]);
+        // νa a(x).nil discards broadcasts on the *outer* a
+        let p = new(a, inp_(a, [x]));
+        assert!(discards(&p, a, &d()));
+    }
+
+    #[test]
+    fn sum_and_par_discard_iff_both_do() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        let listen_a = inp_(a, [x]);
+        let listen_b = inp_(b, [x]);
+        assert!(!discards(&sum(listen_a.clone(), listen_b.clone()), a, &d()));
+        assert!(!discards(&par(listen_a.clone(), listen_b.clone()), b, &d()));
+        assert!(discards(&sum(tau_(), nil()), a, &d()));
+        assert!(!discards(&par(listen_a, nil()), a, &d()));
+    }
+
+    #[test]
+    fn match_selects_branch() {
+        let [a, x, y] = names(["a", "x", "y"]);
+        let p = mat(x, x, inp_(a, [y]), nil());
+        assert!(!discards(&p, a, &d()));
+        let q = mat(x, y, inp_(a, [y]), nil());
+        assert!(discards(&q, a, &d()));
+    }
+
+    #[test]
+    fn recursion_unfolds() {
+        let [a, x] = names(["a", "x"]);
+        let xid = Ident::new("DiscR");
+        // (rec X(a). a(x).X⟨a⟩)⟨a⟩ listens on a
+        let p = rec(xid, [a], inp(a, [x], var(xid, [a])), [a]);
+        assert!(!discards(&p, a, &d()));
+        let b = Name::new("b");
+        assert!(discards(&p, b, &d()));
+    }
+
+    #[test]
+    fn calls_resolve_against_defs() {
+        let [a, x] = names(["a", "x"]);
+        let id = Ident::new("Listener");
+        let mut defs = Defs::new();
+        defs.define(id, vec![a], inp_(a, [x]));
+        let p = call(id, [a]);
+        assert!(!discards(&p, a, &defs));
+    }
+
+    #[test]
+    #[should_panic(expected = "unguarded")]
+    fn unguarded_recursion_is_caught() {
+        let a = Name::new("a");
+        let xid = Ident::new("Unguarded");
+        // (rec X(a). X⟨a⟩)⟨a⟩ never reaches a prefix
+        let p = rec(xid, [a], var(xid, [a]), [a]);
+        let _ = discards(&p, a, &d());
+    }
+
+    #[test]
+    fn arities_collected() {
+        let [a, x, y] = names(["a", "x", "y"]);
+        let p = sum(inp_(a, [x]), inp_(a, [x, y]));
+        let ar = input_arities(&p, &d());
+        assert_eq!(ar[&a], BTreeSet::from([1, 2]));
+        assert_eq!(listening(&p, &d()).to_vec(), vec![a]);
+    }
+
+    #[test]
+    fn discard_iff_not_listening() {
+        // The fundamental dichotomy: p —a:→ iff a ∉ In(p).
+        let [a, b, x] = names(["a", "b", "x"]);
+        let samples = vec![
+            nil(),
+            inp_(a, [x]),
+            sum(inp_(a, [x]), out_(b, [])),
+            par(inp_(a, [x]), inp_(b, [x])),
+            new(a, inp_(a, [x])),
+            mat(a, a, inp_(b, [x]), nil()),
+        ];
+        for p in samples {
+            for c in [a, b] {
+                assert_eq!(
+                    discards(&p, c, &d()),
+                    !listening(&p, &d()).contains(c),
+                    "dichotomy failed for {p} on {c}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Reachable-state-space construction for closed broadcast systems.
+//!
+//! States are quotiented by α-equivalence *and* by injective renaming of
+//! extruded names: scope extrusion (rule (5)) mints globally fresh names,
+//! so without the extra normalisation a system that repeatedly extrudes
+//! (like Example 1's `Edge_manager`, which broadcasts a private token)
+//! would never revisit a state. [`normalize_state`] renames every free
+//! name outside the protected set to a canonical `#e0, #e1, …` sequence in
+//! first-occurrence order, which is sound because injective renamings
+//! preserve strong bisimilarity (Lemma 18).
+//!
+//! Both a sequential and a crossbeam-based parallel breadth-first
+//! exploration are provided; the parallel one shards the frontier over
+//! worker threads with a shared visited table.
+
+use crate::lts::Lts;
+use bpi_core::action::Action;
+use bpi_core::canon::canon;
+use bpi_core::name::{Name, NameSet};
+use bpi_core::subst::Subst;
+use bpi_core::syntax::{Defs, Prefix, Process, P};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Options controlling exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOpts {
+    /// Stop after this many distinct states (the graph is then marked
+    /// [`StateGraph::truncated`]).
+    pub max_states: usize,
+    /// Rename extruded/free names outside the initial free-name set to a
+    /// canonical sequence, folding renaming-equivalent states together.
+    pub normalize_extruded: bool,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> ExploreOpts {
+        ExploreOpts {
+            max_states: 100_000,
+            normalize_extruded: true,
+        }
+    }
+}
+
+/// The reachable step-move transition graph of a closed system.
+#[derive(Clone, Debug)]
+pub struct StateGraph {
+    /// Normalised state representatives; index 0 is the initial state.
+    pub states: Vec<P>,
+    /// `edges[i]` — outgoing `(label, target)` step transitions of state `i`.
+    pub edges: Vec<Vec<(Action, usize)>>,
+    /// Whether exploration stopped early at `max_states`.
+    pub truncated: bool,
+}
+
+impl StateGraph {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total number of transitions.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// States with no outgoing step transition (terminated or waiting
+    /// forever on input).
+    pub fn deadlocks(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.edges[i].is_empty()).collect()
+    }
+
+    /// Whether any reachable transition is an output with subject `a` —
+    /// "the system can eventually broadcast on `a`".
+    pub fn can_output_on(&self, a: Name) -> bool {
+        self.edges
+            .iter()
+            .flatten()
+            .any(|(act, _)| act.is_output() && act.subject() == Some(a))
+    }
+
+    /// All output subjects occurring anywhere in the graph.
+    pub fn output_subjects(&self) -> NameSet {
+        let mut s = NameSet::new();
+        for (act, _) in self.edges.iter().flatten() {
+            if act.is_output() {
+                if let Some(a) = act.subject() {
+                    s.insert(a);
+                }
+            }
+        }
+        s
+    }
+
+    /// A shortest path (sequence of labels) from the initial state to a
+    /// state satisfying `pred` on its outgoing edge, if any: used to
+    /// extract witness traces.
+    pub fn trace_to_output(&self, a: Name) -> Option<Vec<Action>> {
+        // BFS storing back-pointers.
+        let mut prev: Vec<Option<(usize, Action)>> = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        while let Some(i) = queue.pop_front() {
+            for (act, j) in &self.edges[i] {
+                if act.is_output() && act.subject() == Some(a) {
+                    // Reconstruct path to i, then append this action.
+                    let mut path = vec![act.clone()];
+                    let mut cur = i;
+                    while let Some((p, a2)) = prev[cur].clone() {
+                        path.push(a2);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                if !seen[*j] {
+                    seen[*j] = true;
+                    prev[*j] = Some((i, act.clone()));
+                    queue.push_back(*j);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Free names of `p` in order of first (left-to-right) occurrence.
+pub fn free_names_in_order(p: &P) -> Vec<Name> {
+    fn add(n: Name, bound: &[Name], out: &mut Vec<Name>) {
+        if !bound.contains(&n) && !out.contains(&n) {
+            out.push(n);
+        }
+    }
+    fn go(p: &P, bound: &mut Vec<Name>, out: &mut Vec<Name>) {
+        match &**p {
+            Process::Nil => {}
+            Process::Act(pre, cont) => match pre {
+                Prefix::Tau => go(cont, bound, out),
+                Prefix::Output(a, ys) => {
+                    add(*a, bound, out);
+                    for y in ys {
+                        add(*y, bound, out);
+                    }
+                    go(cont, bound, out);
+                }
+                Prefix::Input(a, xs) => {
+                    add(*a, bound, out);
+                    let depth = bound.len();
+                    bound.extend(xs.iter().copied());
+                    go(cont, bound, out);
+                    bound.truncate(depth);
+                }
+            },
+            Process::Sum(l, r) | Process::Par(l, r) => {
+                go(l, bound, out);
+                go(r, bound, out);
+            }
+            Process::New(x, cont) => {
+                bound.push(*x);
+                go(cont, bound, out);
+                bound.pop();
+            }
+            Process::Match(x, y, l, r) => {
+                add(*x, bound, out);
+                add(*y, bound, out);
+                go(l, bound, out);
+                go(r, bound, out);
+            }
+            Process::Call(_, args) | Process::Var(_, args) => {
+                for a in args {
+                    add(*a, bound, out);
+                }
+            }
+            Process::Rec(def, args) => {
+                for a in args {
+                    add(*a, bound, out);
+                }
+                let depth = bound.len();
+                bound.extend(def.params.iter().copied());
+                go(&def.body, bound, out);
+                bound.truncate(depth);
+            }
+        }
+    }
+    let mut bound = Vec::new();
+    let mut out = Vec::new();
+    go(p, &mut bound, &mut out);
+    out
+}
+
+/// Renames every free name of `p` outside `protected` to `#e0, #e1, …` in
+/// first-occurrence order, then α-canonicalises. Two states that differ
+/// only by an injective renaming of their non-protected free names map to
+/// the same representative.
+pub fn normalize_state(p: &P, protected: &NameSet) -> P {
+    // Structural GC first: inert nil husks and dead restrictions would
+    // otherwise make looping systems grow without bound.
+    let p = &bpi_core::prune(p);
+    let mut subst = Subst::identity();
+    let mut i = 0usize;
+    for n in free_names_in_order(p) {
+        if !protected.contains(n) {
+            subst.bind(n, Name::intern_raw(&format!("#e{i}")));
+            i += 1;
+        }
+    }
+    canon(&subst.apply_process(p))
+}
+
+/// Sequential breadth-first exploration of the step-move graph of `p`.
+///
+/// ```
+/// use bpi_core::{parse_process, syntax::Defs};
+/// use bpi_semantics::{explore, ExploreOpts};
+/// let defs = Defs::new();
+/// let p = parse_process("a<>.b<> + b<>").unwrap();
+/// let g = explore(&p, &defs, ExploreOpts::default());
+/// assert_eq!(g.len(), 4);
+/// assert!(!g.truncated);
+/// assert!(g.can_output_on(bpi_core::Name::new("b")));
+/// ```
+pub fn explore(p: &P, defs: &Defs, opts: ExploreOpts) -> StateGraph {
+    let lts = Lts::new(defs);
+    let protected = p.free_names();
+    let norm = |q: &P| {
+        if opts.normalize_extruded {
+            normalize_state(q, &protected)
+        } else {
+            canon(&bpi_core::prune(q))
+        }
+    };
+    // Keys are flat binary encodings of the normalised states: hashing
+    // and equality become memcmp instead of tree walks.
+    let mut index: HashMap<bytes::Bytes, usize> = HashMap::new();
+    let mut states = Vec::new();
+    let mut edges: Vec<Vec<(Action, usize)>> = Vec::new();
+    let mut truncated = false;
+
+    let p0 = norm(p);
+    index.insert(bpi_core::encode(&p0), 0);
+    states.push(p0);
+    edges.push(Vec::new());
+    let mut frontier = vec![0usize];
+
+    while let Some(i) = frontier.pop() {
+        let src = states[i].clone();
+        let mut out = Vec::new();
+        for (act, succ) in lts.step_transitions(&src) {
+            let state = norm(&succ);
+            let key = bpi_core::encode(&state);
+            let j = match index.get(&key) {
+                Some(&j) => j,
+                None => {
+                    if states.len() >= opts.max_states {
+                        truncated = true;
+                        continue;
+                    }
+                    let j = states.len();
+                    index.insert(key, j);
+                    states.push(state);
+                    edges.push(Vec::new());
+                    frontier.push(j);
+                    j
+                }
+            };
+            out.push((act, j));
+        }
+        edges[i] = out;
+    }
+    StateGraph {
+        states,
+        edges,
+        truncated,
+    }
+}
+
+/// Early-exit reachability: is an output with subject `a` reachable from
+/// `p` through step moves? Returns `Some(true)` as soon as one is found,
+/// `Some(false)` if the full space was exhausted without one, and `None`
+/// if the state budget ran out first.
+pub fn output_reachable(p: &P, defs: &Defs, a: Name, opts: ExploreOpts) -> Option<bool> {
+    let lts = Lts::new(defs);
+    let protected = p.free_names();
+    let norm = |q: &P| {
+        if opts.normalize_extruded {
+            normalize_state(q, &protected)
+        } else {
+            canon(&bpi_core::prune(q))
+        }
+    };
+    let mut seen: std::collections::HashSet<bytes::Bytes> = std::collections::HashSet::new();
+    let mut work = vec![norm(p)];
+    seen.insert(bpi_core::encode(&work[0]));
+    let mut truncated = false;
+    while let Some(q) = work.pop() {
+        for (act, succ) in lts.step_transitions(&q) {
+            if act.is_output() && act.subject() == Some(a) {
+                return Some(true);
+            }
+            let state = norm(&succ);
+            let key = bpi_core::encode(&state);
+            if !seen.contains(&key) {
+                if seen.len() >= opts.max_states {
+                    truncated = true;
+                    continue;
+                }
+                seen.insert(key);
+                work.push(state);
+            }
+        }
+    }
+    if truncated {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+/// Parallel breadth-first exploration using `threads` crossbeam workers
+/// sharing a visited table and work queue. Produces the same state set as
+/// [`explore`] (state indices may differ between runs).
+pub fn explore_parallel(p: &P, defs: &Defs, opts: ExploreOpts, threads: usize) -> StateGraph {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return explore(p, defs, opts);
+    }
+    let protected = p.free_names();
+    let norm = |q: &P| {
+        if opts.normalize_extruded {
+            normalize_state(q, &protected)
+        } else {
+            canon(&bpi_core::prune(q))
+        }
+    };
+
+    struct Shared {
+        index: Mutex<HashMap<bytes::Bytes, usize>>,
+        states: Mutex<Vec<P>>,
+        edges: Mutex<Vec<Vec<(Action, usize)>>>,
+        queue: Mutex<Vec<usize>>,
+        active: AtomicUsize,
+        truncated: AtomicBool,
+    }
+
+    let p0 = norm(p);
+    let shared = Shared {
+        index: Mutex::new(HashMap::from([(bpi_core::encode(&p0), 0usize)])),
+        states: Mutex::new(vec![p0]),
+        edges: Mutex::new(vec![Vec::new()]),
+        queue: Mutex::new(vec![0usize]),
+        active: AtomicUsize::new(0),
+        truncated: AtomicBool::new(false),
+    };
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let lts = Lts::new(defs);
+                loop {
+                    let task = {
+                        let mut q = shared.queue.lock();
+                        match q.pop() {
+                            Some(t) => {
+                                shared.active.fetch_add(1, Ordering::SeqCst);
+                                Some(t)
+                            }
+                            None => None,
+                        }
+                    };
+                    let Some(i) = task else {
+                        if shared.active.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let src = shared.states.lock()[i].clone();
+                    let mut out = Vec::new();
+                    for (act, succ) in lts.step_transitions(&src) {
+                        let state = norm(&succ);
+                        let key = bpi_core::encode(&state);
+                        let j = {
+                            let mut index = shared.index.lock();
+                            match index.get(&key) {
+                                Some(&j) => Some(j),
+                                None => {
+                                    let mut states = shared.states.lock();
+                                    if states.len() >= opts.max_states {
+                                        shared.truncated.store(true, Ordering::SeqCst);
+                                        None
+                                    } else {
+                                        let j = states.len();
+                                        index.insert(key, j);
+                                        states.push(state);
+                                        shared.edges.lock().push(Vec::new());
+                                        shared.queue.lock().push(j);
+                                        Some(j)
+                                    }
+                                }
+                            }
+                        };
+                        if let Some(j) = j {
+                            out.push((act, j));
+                        }
+                    }
+                    shared.edges.lock()[i] = out;
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                }
+            });
+        }
+    })
+    .expect("exploration worker panicked");
+
+    StateGraph {
+        states: shared.states.into_inner(),
+        edges: shared.edges.into_inner(),
+        truncated: shared.truncated.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpi_core::builder::*;
+
+    #[test]
+    fn explores_linear_system() {
+        let defs = Defs::new();
+        let [a, b] = names(["a", "b"]);
+        let p = out(a, [], out_(b, []));
+        let g = explore(&p, &defs, ExploreOpts::default());
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.truncated);
+        assert!(g.can_output_on(b));
+        assert_eq!(g.deadlocks().len(), 1);
+    }
+
+    #[test]
+    fn extrusion_loops_fold_to_finite_graph() {
+        // (rec X(a). νt āt.X⟨a⟩)⟨a⟩ extrudes a fresh token forever; with
+        // normalisation the graph is a single self-loop state.
+        let defs = Defs::new();
+        let [a, t] = names(["a", "t"]);
+        let xid = bpi_core::syntax::Ident::new("ExtrudeLoop");
+        let p = rec(xid, [a], new(t, out(a, [t], var(xid, [a]))), [a]);
+        let g = explore(&p, &defs, ExploreOpts::default());
+        assert_eq!(g.len(), 1, "states: {:?}", g.states);
+        assert!(!g.truncated);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        // A process that accumulates parallel components forever:
+        // (rec X(b). τ.(X⟨b⟩ ‖ b̄))⟨b⟩ reaches X ‖ b̄ⁿ for every n.
+        let defs = Defs::new();
+        let b = bpi_core::Name::new("b");
+        let xid = bpi_core::syntax::Ident::new("Grow");
+        let p = rec(xid, [b], tau(par(var(xid, [b]), out_(b, []))), [b]);
+        let g = explore(
+            &p,
+            &defs,
+            ExploreOpts {
+                max_states: 16,
+                normalize_extruded: true,
+            },
+        );
+        assert!(g.truncated);
+        assert!(g.len() <= 16);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let defs = Defs::new();
+        let [a, b, c, x] = names(["a", "b", "c", "x"]);
+        // Three broadcasters and a listener: moderate interleaving.
+        let p = par_of([
+            out(a, [], out_(b, [])),
+            out(b, [], out_(c, [])),
+            inp(a, [x], out_(x, [])),
+        ]);
+        let g1 = explore(&p, &defs, ExploreOpts::default());
+        let g2 = explore_parallel(&p, &defs, ExploreOpts::default(), 4);
+        assert_eq!(g1.len(), g2.len());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        // Same state *sets* regardless of discovery order.
+        let mut s1: Vec<String> = g1.states.iter().map(|s| s.to_string()).collect();
+        let mut s2: Vec<String> = g2.states.iter().map(|s| s.to_string()).collect();
+        s1.sort();
+        s2.sort();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn trace_extraction() {
+        let defs = Defs::new();
+        let [a, b, c] = names(["a", "b", "c"]);
+        let p = sum(out(a, [], out_(c, [])), out_(b, []));
+        let g = explore(&p, &defs, ExploreOpts::default());
+        let tr = g.trace_to_output(c).expect("c is reachable");
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0].subject(), Some(a));
+        assert_eq!(tr[1].subject(), Some(c));
+        assert!(g.trace_to_output(Name::new("zzz")).is_none());
+    }
+
+    #[test]
+    fn free_names_in_order_is_first_occurrence() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        let p = par(out_(b, [a]), inp(a, [x], out_(x, [b])));
+        assert_eq!(free_names_in_order(&p), vec![b, a]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # bpi-semantics — operational semantics of the bπ-calculus
+//!
+//! Implements Tables 2 and 3 of Ene & Muntean (2001):
+//!
+//! * [`discard`] — the relation `p —a:→` ("`p` ignores broadcasts on
+//!   `a`") and the listening interface `In(p)`;
+//! * [`lts`] — the labelled transition system, with atomic one-to-many
+//!   broadcast in parallel composition, scope extrusion, and early
+//!   pool-instantiated inputs;
+//! * [`weak`] — weak transitions, barbs (`↓a`, `⇓a`) and step-barbs
+//!   (`↓ₐ^φ`, `⇓ₐ^φ`);
+//! * [`explore`] — reachable state graphs (sequential and
+//!   crossbeam-parallel), quotiented by α-equivalence and extruded-name
+//!   renaming;
+//! * [`sim`] — seeded random execution for large closed systems.
+
+pub mod analysis;
+pub mod discard;
+pub mod explore;
+pub mod lts;
+pub mod sim;
+pub mod weak;
+
+pub use analysis::{analyse, Analysis};
+pub use discard::{discards, input_arities, listening};
+pub use explore::{explore, explore_parallel, normalize_state, output_reachable, ExploreOpts, StateGraph};
+pub use lts::{tuples, Lts};
+pub use sim::{Simulator, Trace};
+pub use weak::Weak;

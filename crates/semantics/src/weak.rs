@@ -1,0 +1,240 @@
+//! Weak transitions, barbs, and step-moves.
+//!
+//! * `p ⇒ p'` — zero or more `τ` steps ([`Weak::tau_closure`]);
+//! * `p ↓a / p ⇓a` — strong/weak **barbs**: the ability to (eventually)
+//!   broadcast on `a`. In a broadcast calculus outputs are the observable
+//!   actions (we hear whatever a process says if we listen), while inputs
+//!   are invisible (sending is non-blocking, so we cannot tell whether our
+//!   value was received or discarded) — Section 3.1;
+//! * step-moves `p —α̂→ p'` with `α̂` an output or `τ` — the autonomous
+//!   moves of step-bisimilarity (Definition 5), and the step-barbs
+//!   `↓ₐ^φ / ⇓ₐ^φ` defined from them.
+
+use crate::lts::Lts;
+use bpi_core::action::Action;
+use bpi_core::canon::canon;
+use bpi_core::name::{Name, NameSet};
+use bpi_core::syntax::P;
+use std::collections::HashSet;
+
+/// Default bound on the number of distinct states a weak closure may
+/// visit before giving up.
+pub const DEFAULT_CLOSURE_BUDGET: usize = 65_536;
+
+/// Weak-transition engine layered over [`Lts`].
+#[derive(Clone, Copy)]
+pub struct Weak<'d> {
+    pub lts: Lts<'d>,
+    /// Maximum number of distinct states any closure may visit.
+    pub budget: usize,
+}
+
+impl<'d> Weak<'d> {
+    pub fn new(lts: Lts<'d>) -> Weak<'d> {
+        Weak {
+            lts,
+            budget: DEFAULT_CLOSURE_BUDGET,
+        }
+    }
+
+    pub fn with_budget(lts: Lts<'d>, budget: usize) -> Weak<'d> {
+        Weak { lts, budget }
+    }
+
+    /// `{p' | p ⇒ p'}` — all states reachable by `τ` steps (including `p`
+    /// itself), deduplicated up to α-equivalence.
+    ///
+    /// # Panics
+    /// Panics if more than `budget` distinct states are visited.
+    pub fn tau_closure(&self, p: &P) -> Vec<P> {
+        self.closure(p, |act| matches!(act, Action::Tau))
+    }
+
+    /// `{p' | p =α̂⇒ p'}` — all states reachable by *step moves*
+    /// (`τ` or any output), including `p` itself.
+    pub fn step_closure(&self, p: &P) -> Vec<P> {
+        self.closure(p, |act| act.is_step_move())
+    }
+
+    fn closure(&self, p: &P, keep: impl Fn(&Action) -> bool) -> Vec<P> {
+        let mut seen: HashSet<P> = HashSet::new();
+        let mut out = Vec::new();
+        let mut work = vec![p.clone()];
+        seen.insert(canon(p));
+        while let Some(q) = work.pop() {
+            assert!(
+                seen.len() <= self.budget,
+                "weak closure exceeded its budget of {} states",
+                self.budget
+            );
+            for (act, q2) in self.lts.step_transitions(&q) {
+                if keep(&act) && seen.insert(canon(&q2)) {
+                    work.push(q2);
+                }
+            }
+            out.push(q);
+        }
+        out
+    }
+
+    /// Strong barbs `{a | p ↓a}`: subjects of immediately available
+    /// outputs.
+    pub fn strong_barbs(&self, p: &P) -> NameSet {
+        let mut s = NameSet::new();
+        for (act, _) in self.lts.step_transitions(p) {
+            if act.is_output() {
+                if let Some(a) = act.subject() {
+                    s.insert(a);
+                }
+            }
+        }
+        s
+    }
+
+    /// Weak barbs `{a | p ⇓a}`: subjects of outputs reachable through `τ`
+    /// steps.
+    pub fn weak_barbs(&self, p: &P) -> NameSet {
+        let mut s = NameSet::new();
+        for q in self.tau_closure(p) {
+            s.extend(&self.strong_barbs(&q));
+        }
+        s
+    }
+
+    /// Strong step-barbs `{a | p ↓ₐ^φ}` — identical to strong barbs (an
+    /// immediate output with subject `a`); kept separate for symmetry with
+    /// the paper's notation.
+    pub fn strong_step_barbs(&self, p: &P) -> NameSet {
+        self.strong_barbs(p)
+    }
+
+    /// Weak step-barbs `{a | p ⇓ₐ^φ}`: a sequence of step moves ending in
+    /// an output with subject `a` — i.e. some step-reachable state has a
+    /// strong barb on `a`. Step moves may traverse *outputs*, not just
+    /// `τ`s, which is exactly what distinguishes step- from barbed
+    /// observation (Remark 2.3).
+    pub fn weak_step_barbs(&self, p: &P) -> NameSet {
+        let mut s = NameSet::new();
+        for q in self.step_closure(p) {
+            s.extend(&self.strong_barbs(&q));
+        }
+        s
+    }
+
+    /// Weak τ-moves followed by one transition satisfying `pred`, followed
+    /// by τ-moves: `{p' | p ⇒ —α→ ⇒ p', pred(α)}` together with the
+    /// labels used.
+    pub fn weak_then(&self, p: &P, pred: impl Fn(&Action) -> bool) -> Vec<(Action, P)> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<(Action, P)> = HashSet::new();
+        for q in self.tau_closure(p) {
+            for (act, q2) in self.lts.step_transitions(&q) {
+                if pred(&act) {
+                    for q3 in self.tau_closure(&q2) {
+                        if seen.insert((act.clone(), canon(&q3))) {
+                            out.push((act.clone(), q3));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `a` is a strong barb of `p`.
+    pub fn has_strong_barb(&self, p: &P, a: Name) -> bool {
+        self.strong_barbs(p).contains(a)
+    }
+
+    /// Whether `a` is a weak barb of `p`.
+    pub fn has_weak_barb(&self, p: &P, a: Name) -> bool {
+        // Early-exit search rather than materialising the closure.
+        let mut seen: HashSet<P> = HashSet::new();
+        let mut work = vec![p.clone()];
+        seen.insert(canon(p));
+        while let Some(q) = work.pop() {
+            assert!(
+                seen.len() <= self.budget,
+                "weak barb search exceeded its budget of {} states",
+                self.budget
+            );
+            for (act, q2) in self.lts.step_transitions(&q) {
+                if act.is_output() && act.subject() == Some(a) {
+                    return true;
+                }
+                if matches!(act, Action::Tau) && seen.insert(canon(&q2)) {
+                    work.push(q2);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpi_core::builder::*;
+    use bpi_core::syntax::Defs;
+
+    fn weak(defs: &Defs) -> Weak<'_> {
+        Weak::new(Lts::new(defs))
+    }
+
+    #[test]
+    fn tau_closure_collects_derivatives() {
+        let defs = Defs::new();
+        let a = bpi_core::Name::new("a");
+        // τ.τ.ā : closure has 3 states
+        let p = tau(tau(out_(a, [])));
+        let w = weak(&defs);
+        assert_eq!(w.tau_closure(&p).len(), 3);
+    }
+
+    #[test]
+    fn barbs_strong_vs_weak() {
+        let defs = Defs::new();
+        let [a, b] = names(["a", "b"]);
+        // τ.ā + b̄ : strong barb {b}, weak barbs {a, b}
+        let p = sum(tau(out_(a, [])), out_(b, []));
+        let w = weak(&defs);
+        assert_eq!(w.strong_barbs(&p).to_vec(), vec![b]);
+        assert_eq!(w.weak_barbs(&p).to_vec(), vec![a, b]);
+        assert!(w.has_weak_barb(&p, a));
+        assert!(!w.has_strong_barb(&p, a));
+    }
+
+    #[test]
+    fn step_barbs_traverse_outputs() {
+        let defs = Defs::new();
+        let [a, b] = names(["a", "b"]);
+        // b̄.ā : weak barb only {b} (no τ to cross the output), but weak
+        // STEP barb {a, b} — the distinction behind Remark 2.3.
+        let p = out(b, [], out_(a, []));
+        let w = weak(&defs);
+        assert_eq!(w.weak_barbs(&p).to_vec(), vec![b]);
+        assert_eq!(w.weak_step_barbs(&p).to_vec(), vec![a, b]);
+    }
+
+    #[test]
+    fn restricted_output_is_not_a_barb() {
+        // νa (āv ‖ a(x)) has no barb at all: the broadcast is internal.
+        let defs = Defs::new();
+        let [a, v, x] = names(["a", "v", "x"]);
+        let p = new(a, par(out_(a, [v]), inp_(a, [x])));
+        let w = weak(&defs);
+        assert!(w.strong_barbs(&p).is_empty());
+        assert!(w.weak_barbs(&p).is_empty());
+    }
+
+    #[test]
+    fn weak_then_composes() {
+        let defs = Defs::new();
+        let [a, b] = names(["a", "b"]);
+        // τ.ā.τ.b̄ : weak output on a reaches both τ.b̄ and b̄.
+        let p = tau(out(a, [], tau(out_(b, []))));
+        let w = weak(&defs);
+        let outs = w.weak_then(&p, |act| act.is_output() && act.subject() == Some(a));
+        assert_eq!(outs.len(), 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Example 2 of the paper as a runnable scenario: auditing a
+//! partitioned, replicated database for serialization anomalies.
+//!
+//! ```sh
+//! cargo run --example consistency_audit
+//! ```
+//!
+//! Transactions executed during a network partition are replayed as
+//! broadcasts to per-copy item managers; on the `unif` "reconnect"
+//! broadcast the managers exchange their records, derive precedence
+//! edges per the paper's three rules, and feed them to the distributed
+//! cycle detector. `error` fires iff the merged history is
+//! unserialisable.
+
+use bpi::encodings::transactions::{
+    detect_inconsistency, is_inconsistent_baseline, precedence_graph, Access, Event, History,
+};
+
+fn audit(name: &str, h: &History) {
+    let g = precedence_graph(h);
+    let baseline = is_inconsistent_baseline(h);
+    let start = std::time::Instant::now();
+    let detected = detect_inconsistency(h, 0..40, 2_000);
+    println!(
+        "{name:<22} events={:<2} edges={:<2} baseline={} distributed={} in {:.2?}",
+        h.events.len(),
+        g.edges.len(),
+        if baseline { "INCONSISTENT" } else { "ok" },
+        if detected { "INCONSISTENT" } else { "ok" },
+        start.elapsed()
+    );
+    assert_eq!(baseline, detected, "detector disagrees with baseline");
+}
+
+fn main() {
+    // A clean same-partition history.
+    audit(
+        "serial-reads",
+        &History {
+            events: vec![
+                Event::new("T1", Access::Write, "x", "P0"),
+                Event::new("T2", Access::Read, "x", "P0"),
+                Event::new("T3", Access::Read, "x", "P0"),
+            ],
+        },
+    );
+    // Split-brain double write: contrary edges, 2-cycle.
+    audit(
+        "split-brain-write",
+        &History {
+            events: vec![
+                Event::new("T1", Access::Write, "cart", "P0"),
+                Event::new("T2", Access::Write, "cart", "P1"),
+            ],
+        },
+    );
+    // The classic lost update across the partition.
+    audit(
+        "lost-update",
+        &History {
+            events: vec![
+                Event::new("T1", Access::Read, "acct", "P0"),
+                Event::new("T1", Access::Write, "acct", "P0"),
+                Event::new("T2", Access::Read, "acct", "P1"),
+                Event::new("T2", Access::Write, "acct", "P1"),
+            ],
+        },
+    );
+    // Cross-item cycle through rule 3 only.
+    audit(
+        "write-skew",
+        &History {
+            events: vec![
+                Event::new("T1", Access::Read, "x", "P0"),
+                Event::new("T1", Access::Write, "y", "P0"),
+                Event::new("T2", Access::Read, "y", "P1"),
+                Event::new("T2", Access::Write, "x", "P1"),
+            ],
+        },
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: parse bπ processes, derive transitions, check
+//! equivalences, and prove an axiom equality.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use bpi::axioms::Prover;
+use bpi::core::builder::*;
+use bpi::core::parse_process;
+use bpi::core::syntax::Defs;
+use bpi::equiv::{congruent_strong, Checker, Opts, Variant};
+use bpi::semantics::{Lts, Weak};
+
+fn main() {
+    let defs = Defs::new();
+    let lts = Lts::new(&defs);
+
+    // 1. Parse a broadcast system: one speaker, two listeners.
+    let sys = parse_process("a<v> | a(x).x<> | a(y).y<y>").expect("parse");
+    println!("system        : {sys}");
+
+    // 2. One broadcast reaches *both* listeners in a single step.
+    for (act, next) in lts.step_transitions(&sys) {
+        println!("  —{act}→ {next}");
+    }
+
+    // 3. Barbs: what the environment can hear.
+    let w = Weak::new(lts);
+    println!("weak barbs    : {:?}", w.weak_barbs(&sys));
+
+    // 4. Equivalence checking: restriction turns broadcast into τ.
+    let p = parse_process("new a. (a<v> | a(x).x<>)").expect("parse");
+    let q = parse_process("tau.v<>").expect("parse");
+    let checker = Checker::new(&defs);
+    println!(
+        "νa(āv ‖ a(x).x̄) ~ τ.v̄  : {}",
+        checker.bisimilar(Variant::StrongLabelled, &p, &q)
+    );
+    println!(
+        "…and weakly equal to v̄ : {}",
+        checker.bisimilar(Variant::WeakLabelled, &p, &parse_process("v<>").unwrap())
+    );
+
+    // 5. The congruence and the axiom system agree — here on an
+    //    instance of the broadcast-specific noisy axiom (H): a deaf
+    //    process may be given an inoffensive ear.
+    let [a, b, c, x] = names(["a", "b", "c", "x"]);
+    let lhs = out(a, [], out_(b, []));
+    let rhs = out(a, [], sum(out_(b, []), inp(c, [x], out_(b, []))));
+    let semantic = congruent_strong(&lhs, &rhs, &defs, Opts::default());
+    let syntactic = Prover::new().congruent(&lhs, &rhs);
+    println!("ā.b̄ ~c ā.(b̄ + c(x).b̄) : semantic={semantic} prover={syntactic}");
+    assert!(semantic && syntactic);
+}

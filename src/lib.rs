@@ -1,0 +1,10 @@
+#![doc = include_str!("../README.md")]
+//!
+//! ---
+//!
+//! This facade crate re-exports the full bπ-calculus stack:
+pub use bpi_axioms as axioms;
+pub use bpi_core as core;
+pub use bpi_encodings as encodings;
+pub use bpi_equiv as equiv;
+pub use bpi_semantics as semantics;

@@ -1,0 +1,159 @@
+//! Experiments E16 and E17 — Theorem 7: completeness of the axiom
+//! system, and the independence of the noisy axiom (H).
+//!
+//! The normal-form prover of `bpi-axioms` implements the completeness
+//! proof's comparison (complete conditions → head matching → (SP)
+//! instantiation → (H) discard-matching). Agreement with the *semantic*
+//! `~c` decided over the LTS is the executable content of
+//! "`A ⊢ p = q` iff `p ~c q`":
+//!
+//! * prover accepts ⇒ semantics accepts (soundness, Theorem 6);
+//! * semantics accepts ⇒ prover accepts (completeness, Theorem 7);
+//!
+//! checked in both directions on random finite processes. Disabling the
+//! (H)-saturation loses exactly the noisy instances — the paper's
+//! remark that the axioms are independent.
+
+use bpi::axioms::Prover;
+use bpi::core::builder::*;
+use bpi::core::syntax::{Defs, P};
+use bpi::equiv::arbitrary::{shuffle, Gen, GenCfg};
+use bpi::equiv::{congruent_strong, Opts};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn semantic(p: &P, q: &P) -> bool {
+    let defs = Defs::new();
+    congruent_strong(p, q, &defs, Opts::default())
+}
+
+fn syntactic(p: &P, q: &P) -> bool {
+    Prover::new().congruent(p, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prover_agrees_with_semantics_random(seed in 0u64..5_000) {
+        let ns = names(["a", "b"]).to_vec();
+        let mut cfg = GenCfg::finite_monadic(ns);
+        cfg.max_depth = 2;
+        let mut g = Gen::new(cfg, seed);
+        let (p, q) = g.related_pair();
+        let sem = semantic(&p, &q);
+        let syn = syntactic(&p, &q);
+        prop_assert_eq!(
+            sem, syn,
+            "prover/semantics disagreement on {} vs {}", p, q
+        );
+    }
+
+    #[test]
+    fn prover_accepts_all_shuffles(seed in 0u64..5_000) {
+        // Shuffles are provably congruent (S3/S4 rearrangements).
+        let ns = names(["a", "b", "c"]).to_vec();
+        let mut cfg = GenCfg::finite_monadic(ns);
+        cfg.max_depth = 2;
+        let mut g = Gen::new(cfg, seed);
+        let p = g.process();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xf00);
+        let q = shuffle(&p, &mut rng);
+        prop_assert!(syntactic(&p, &q), "prover rejected a shuffle of {}", p);
+    }
+}
+
+#[test]
+fn prover_decides_paper_counterexamples() {
+    let [a, b, c, x, y] = names(["a", "b", "c", "x", "y"]);
+    // Non-congruent pairs.
+    assert!(!syntactic(&out_(a, [b]), &out_(a, [c])));
+    assert!(!syntactic(&mat_(x, y, out_(c, [])), &nil()));
+    assert!(!syntactic(&inp_(a, [x]), &inp_(b, [x])));
+    assert!(!syntactic(
+        &out(a, [], sum(out_(b, []), out_(c, []))),
+        &sum(out(a, [], out_(b, [])), out(a, [], out_(c, [])))
+    ));
+    // Congruent pairs.
+    assert!(syntactic(&par(out_(a, [b]), nil()), &out_(a, [b])));
+    assert!(syntactic(
+        &new(x, out(a, [x], out_(x, []))),
+        &new(y, out(a, [y], out_(y, [])))
+    ));
+}
+
+#[test]
+fn h_independence_noisy_instances_need_h() {
+    // A family of (H) instances: semantically congruent, provable with
+    // (H), unprovable without.
+    let [a, b, c, x] = names(["a", "b", "c", "x"]);
+    let instances: Vec<(P, P)> = vec![
+        {
+            let p = out_(b, []);
+            (
+                out(a, [], p.clone()),
+                out(a, [], sum(p.clone(), inp(c, [x], p.clone()))),
+            )
+        },
+        {
+            let p = sum(out_(b, []), tau(nil()));
+            (
+                tau(p.clone()),
+                tau(sum(p.clone(), inp(a, [x], p.clone()))),
+            )
+        },
+    ];
+    for (lhs, rhs) in instances {
+        assert!(semantic(&lhs, &rhs), "instance not semantically valid");
+        assert!(
+            Prover::new().congruent(&lhs, &rhs),
+            "full prover must accept {lhs} = {rhs}"
+        );
+        assert!(
+            !Prover::without_noisy().congruent(&lhs, &rhs),
+            "prover without (H) must fail on {lhs} = {rhs} — independence"
+        );
+    }
+}
+
+#[test]
+fn h_free_prover_still_sound() {
+    // Removing (H) loses completeness, never soundness: whatever the
+    // crippled prover accepts is still semantically congruent.
+    let ns = names(["a", "b"]).to_vec();
+    let mut cfg = GenCfg::finite_monadic(ns);
+    cfg.max_depth = 2;
+    for seed in 0..40u64 {
+        let mut g = Gen::new(cfg.clone(), seed);
+        let (p, q) = g.related_pair();
+        if Prover::without_noisy().congruent(&p, &q) {
+            assert!(semantic(&p, &q), "H-free prover unsound on {p} vs {q}");
+        }
+    }
+}
+
+#[test]
+fn sp_saturation_required_for_per_value_matching() {
+    // The (SP) shape: the two sides receive the same values but route
+    // them through different summand splits — equal only thanks to
+    // per-value matching.
+    let [a, x, y] = names(["a", "x", "y"]);
+    let p1 = inp(a, [x], mat(x, y, out_(x, []), out_(y, [x])));
+    let q1 = sum(
+        inp(a, [x], mat(x, y, out_(x, []), nil())),
+        inp(a, [x], mat(x, y, nil(), out_(y, [x]))),
+    );
+    // p1 receives v: if v=y → ȳ else ȳ⟨v⟩… while q1 picks the branch
+    // per value. Semantically: for v = y both give ȳ; for v ≠ y, p1
+    // gives ȳ⟨v⟩, q1 can choose the second summand: ȳ⟨v⟩ — but q1 could
+    // also choose the first (deadlock). Deadlock differs ⇒ NOT
+    // congruent; both deciders must agree on the refusal.
+    assert_eq!(semantic(&p1, &q1), syntactic(&p1, &q1));
+    // And the positive (SP) law itself:
+    let p = out_(x, []);
+    let q = out_(y, [x]);
+    let lhs = sum(inp(a, [x], p.clone()), inp(a, [x], q.clone()));
+    let rhs = sum(lhs.clone(), inp(a, [x], mat(x, y, p, q)));
+    assert!(semantic(&lhs, &rhs));
+    assert!(syntactic(&lhs, &rhs));
+}

@@ -1,0 +1,170 @@
+//! Experiments E5, E6, E11, E24 — the paper's exact counterexamples.
+//!
+//! These pin down the *shape* of the theory: which operators break
+//! which equivalence, and how the bπ-calculus inverts the π-calculus
+//! folklore (barbed bisimilarity is preserved by ‖ but not by ν).
+
+use bpi::core::builder::*;
+use bpi::core::syntax::Defs;
+use bpi::equiv::{
+    strong_barbed_bisimilar, strong_bisimilar, strong_step_bisimilar, weak_barbed_bisimilar,
+    Checker, Variant,
+};
+
+fn defs() -> Defs {
+    Defs::new()
+}
+
+/// Remark 1: `p₁ = āb` and `q₁ = āb.c̄d` are strongly barbed bisimilar,
+/// but `νa p₁` and `νa q₁` are not even weakly barbed bisimilar —
+/// restriction turns the output into a τ whose derivative exposes `c̄d`
+/// on one side only.
+#[test]
+fn remark1_restriction_breaks_barbed_bisimilarity() {
+    let d = defs();
+    let [a, b, c, e] = names(["a", "b", "c", "d"]);
+    let p1 = out_(a, [b]);
+    let q1 = out(a, [b], out_(c, [e]));
+    assert!(strong_barbed_bisimilar(&p1, &q1, &d), "p₁ ~b q₁");
+    let np = new(a, p1);
+    let nq = new(a, q1);
+    assert!(!strong_barbed_bisimilar(&np, &nq, &d), "νa p₁ ≁b νa q₁");
+    assert!(!weak_barbed_bisimilar(&np, &nq, &d), "νa p₁ ≉b νa q₁");
+}
+
+/// Remark 2.1: step bisimilarity is not preserved by ‖.
+/// `p₁ = b̄ + τ.c̄` and `q₁ = b̄ + b̄.c̄` are step bisimilar, but
+/// composing with `r₁ = b()† + ā` separates them: `p₁ ‖ r₁` can step to
+/// `(c̄ ‖ r₁)` silently while `q₁ ‖ r₁` cannot keep `r₁` intact.
+#[test]
+fn remark2_1_step_not_preserved_by_parallel() {
+    let d = defs();
+    let [a, b, c] = names(["a", "b", "c"]);
+    let p1 = sum(out_(b, []), tau(out_(c, [])));
+    let q1 = sum(out_(b, []), out(b, [], out_(c, [])));
+    assert!(strong_step_bisimilar(&p1, &q1, &d), "p₁ ~φ q₁");
+    // r₁ listens on b and can alternatively broadcast on a.
+    let r1 = sum(inp_(b, []), out_(a, []));
+    let pr = par(p1, r1.clone());
+    let qr = par(q1, r1);
+    assert!(
+        !strong_step_bisimilar(&pr, &qr, &d),
+        "composition must separate them (Remark 2.1)"
+    );
+}
+
+/// Remark 2.2: step bisimilarity is not preserved by ν.
+/// `p₂ = b̄a.ā ~φ q₂ = b̄c.ā` (labels are abstracted), but restricting
+/// `a` leaves `p₂` with a reachable step-barb on `a` that `q₂`'s
+/// τ-converted output cannot match.
+#[test]
+fn remark2_2_step_not_preserved_by_restriction() {
+    let d = defs();
+    let [a, b, c] = names(["a", "b", "c"]);
+    let p2 = out(b, [a], out_(a, []));
+    let q2 = out(b, [c], out_(a, []));
+    assert!(strong_step_bisimilar(&p2, &q2, &d), "p₂ ~φ q₂");
+    assert!(
+        !strong_step_bisimilar(&new(a, p2), &new(a, q2), &d),
+        "νa p₂ ≁φ νa q₂"
+    );
+}
+
+/// Remark 2.3: barbed and step bisimilarity are incomparable.
+#[test]
+fn remark2_3_incomparability() {
+    let d = defs();
+    let [a, b, c, e] = names(["a", "b", "c", "e"]);
+    // ~φ ⊄ ~b : p₁ ~φ q₁ (above) but p₁ ≁b q₁ (p₁ has a τ, q₁ has none).
+    let p1 = sum(out_(b, []), tau(out_(e, [])));
+    let q1 = sum(out_(b, []), out(b, [], out_(e, [])));
+    assert!(strong_step_bisimilar(&p1, &q1, &d));
+    assert!(!strong_barbed_bisimilar(&p1, &q1, &d));
+    // ~b ⊄ ~φ : νa p₂ ~b νa q₂ but νa p₂ ≁φ νa q₂.
+    let p2 = new(a, out(b, [a], out_(a, [])));
+    let q2 = new(a, out(b, [c], out_(a, [])));
+    assert!(strong_barbed_bisimilar(&p2, &q2, &d));
+    assert!(!strong_step_bisimilar(&p2, &q2, &d));
+}
+
+/// Remark 3: labelled bisimilarity is not a congruence —
+/// not preserved by choice, substitution, or (input) prefixing.
+#[test]
+fn remark3_labelled_not_a_congruence() {
+    let d = defs();
+    // Choice: a ~ b for input prefixes (inputs are invisible), but
+    // a + c̄ ≁ b + c̄.
+    let [a, b, c, x, y] = names(["a", "b", "c", "x", "y"]);
+    let pa = inp_(a, [x]);
+    let pb = inp_(b, [x]);
+    assert!(strong_bisimilar(&pa, &pb, &d), "a ~ b");
+    assert!(
+        !strong_bisimilar(
+            &sum(pa.clone(), out_(c, [])),
+            &sum(pb.clone(), out_(c, [])),
+            &d
+        ),
+        "a + c̄ ≁ b + c̄"
+    );
+    // Substitution: (x=y)c̄ ~ nil while x ≠ y, but not after [x/y].
+    let m = mat_(x, y, out_(c, []));
+    assert!(strong_bisimilar(&m, &nil(), &d));
+    let collapsed = bpi::core::Subst::single(y, x).apply_process(&m);
+    assert!(!strong_bisimilar(&collapsed, &nil(), &d));
+    // Prefixing (consequence): a(y).m ≁ a(y).nil.
+    assert!(!strong_bisimilar(
+        &inp(a, [y], m),
+        &inp_(a, [y]),
+        &d
+    ));
+}
+
+/// Section 6's closing observation: `ā.(b̄+c̄)` and `ā.b̄+ā.c̄` are not
+/// barbed *equivalent* (a static context separates them), even though no
+/// single broadcast observer could influence the choice — bisimulation
+/// is strictly finer than any testing scenario.
+#[test]
+fn section6_bisimulation_strictness() {
+    let d = defs();
+    let [a, b, c] = names(["a", "b", "c"]);
+    let p = out(a, [], sum(out_(b, []), out_(c, [])));
+    let q = sum(out(a, [], out_(b, [])), out(a, [], out_(c, [])));
+    // Labelled and step bisimilarity separate them outright.
+    assert!(!strong_bisimilar(&p, &q, &d));
+    assert!(!strong_step_bisimilar(&p, &q, &d));
+    // Barbed bisimilarity alone does not…
+    assert!(strong_barbed_bisimilar(&p, &q, &d));
+    // …but barbed equivalence (closure under static contexts) does:
+    // νa ([·] ‖ a()) manufactures the separating τ.
+    let ctx = |t: bpi::core::syntax::P| new(a, par(t, inp_(a, [])));
+    assert!(!strong_barbed_bisimilar(&ctx(p.clone()), &ctx(q.clone()), &d));
+    // The random static-context sampler finds a separating context too.
+    let found = bpi::equiv::contexts::sampled_equivalence(
+        Variant::StrongBarbed,
+        &p,
+        &q,
+        &d,
+        300,
+        11,
+    );
+    assert!(found.is_err(), "sampler should find a distinguishing context");
+}
+
+/// The checker object deduplicates work across variants — smoke-check
+/// that a single `Checker` answers all six variants consistently on a
+/// counterexample pair.
+#[test]
+fn variants_disagree_exactly_as_documented() {
+    let d = defs();
+    let [b, e] = names(["b", "e"]);
+    let p1 = sum(out_(b, []), tau(out_(e, [])));
+    let q1 = sum(out_(b, []), out(b, [], out_(e, [])));
+    let c = Checker::new(&d);
+    assert!(!c.bisimilar(Variant::StrongBarbed, &p1, &q1));
+    assert!(c.bisimilar(Variant::StrongStep, &p1, &q1));
+    assert!(!c.bisimilar(Variant::StrongLabelled, &p1, &q1));
+    // Weak barbed: p₁'s τ is absorbed; weak step likewise holds; weak
+    // labelled still fails (the τ-derivative ē must be matched under
+    // labels).
+    assert!(c.bisimilar(Variant::WeakStep, &p1, &q1));
+}

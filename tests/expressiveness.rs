@@ -1,0 +1,105 @@
+//! Experiment E23 — Section 6 expressiveness results, executable.
+//!
+//! * the RAM encoding computes (Turing-completeness witness);
+//! * the uniform π → bπ encoding is barb-adequate on a family of
+//!   subjects;
+//! * the CBS-contrast: static scoping interferes, dynamic scoping
+//!   (ν + name-passing) isolates — and names received at run time
+//!   become listening topics.
+
+use bpi::encodings::pi::{barb_adequate, pi_may_barbs, runs_are_exclusive, Pi};
+use bpi::encodings::ram::{interpret, program_add, program_double, run_ram, RamInstr, RamProgram};
+use std::collections::BTreeSet;
+
+#[test]
+fn ram_computes_arithmetic() {
+    for (a, b) in [(0u64, 4u64), (3, 2), (5, 0)] {
+        let expect = interpret(&program_add(), &[a, b], 10_000).unwrap()[0];
+        assert_eq!(run_ram(&program_add(), &[a, b], 0, 60_000), Some(expect));
+    }
+    let expect = interpret(&program_double(), &[4], 10_000).unwrap()[1];
+    assert_eq!(run_ram(&program_double(), &[4], 1, 60_000), Some(expect));
+}
+
+#[test]
+fn ram_handles_nested_loops() {
+    // A two-register clear-and-copy: r1 := r0; r0 := 0.
+    let prog = RamProgram {
+        instrs: vec![
+            RamInstr::DecJz(0, 3),
+            RamInstr::Inc(1),
+            RamInstr::Jmp(0),
+            RamInstr::Halt,
+        ],
+        n_regs: 2,
+    };
+    assert_eq!(run_ram(&prog, &[5], 1, 60_000), Some(5));
+    assert_eq!(run_ram(&prog, &[5], 0, 60_000), Some(0));
+}
+
+#[test]
+fn pi_encoding_adequate_on_family() {
+    let subjects: Vec<Pi> = vec![
+        // Simple handshake.
+        Pi::par(
+            Pi::out("x", "y", Pi::Nil),
+            Pi::inp("x", "z", Pi::out("z", "z", Pi::Nil)),
+        ),
+        // Output with no partner stays blocked.
+        Pi::out("x", "y", Pi::out("w", "w", Pi::Nil)),
+        // Input with no partner contributes nothing.
+        Pi::inp("x", "z", Pi::out("z", "z", Pi::Nil)),
+        // Chained communications.
+        Pi::par(
+            Pi::out("x", "a", Pi::out("y", "b", Pi::Nil)),
+            Pi::par(
+                Pi::inp("x", "u", Pi::Nil),
+                Pi::inp("y", "v", Pi::out("v", "v", Pi::Nil)),
+            ),
+        ),
+        // Name passing creates new conversation partners.
+        Pi::new(
+            "s",
+            Pi::par(
+                Pi::out("x", "s", Pi::inp("s", "r", Pi::out("r", "r", Pi::Nil))),
+                Pi::inp("x", "c", Pi::out("c", "ans", Pi::Nil)),
+            ),
+        ),
+    ];
+    for p in subjects {
+        assert!(barb_adequate(&p, 6_000), "adequacy failed for {p:?}");
+    }
+}
+
+#[test]
+fn pi_encoding_linearity() {
+    // However many receivers compete, each π output is consumed by
+    // exactly one of them.
+    let p = Pi::par(
+        Pi::out("x", "a", Pi::Nil),
+        Pi::par(
+            Pi::inp("x", "u", Pi::out("u", "u", Pi::Nil)),
+            Pi::inp("x", "v", Pi::out("c", "c", Pi::Nil)),
+        ),
+    );
+    assert!(runs_are_exclusive(&p, "a", "c", 0..60));
+    // The reference interpreter agrees both continuations are possible.
+    let barbs = pi_may_barbs(&p, 2_000);
+    assert_eq!(
+        barbs,
+        BTreeSet::from(["x".to_string(), "a".to_string(), "c".to_string()])
+    );
+}
+
+#[test]
+fn cbs_contrast_suite() {
+    use bpi::encodings::cbs::{observes, scoped_instances, shared_instances};
+    let (shared, v1, v2, o1, _o2) = shared_instances();
+    let (scoped, w1, w2, s1, s2) = scoped_instances();
+    // Static sharing interferes; restriction isolates.
+    assert!(observes(&shared, o1, v2), "CBS-style sharing must interfere");
+    assert!(!observes(&scoped, s1, w2));
+    assert!(!observes(&scoped, s2, w1));
+    assert!(observes(&scoped, s1, w1));
+    let _ = v1;
+}

@@ -1,0 +1,114 @@
+//! Experiment E1 — Lemma 1 and Corollary 1: free names along transitions.
+//!
+//! ```text
+//! 1. p —νỹ āx̃→ p'  ⇒  fn(p') ⊆ fn(p) ∪ ỹ  and  x̃∖ỹ ⊆ fn(p)
+//! 2. p —a(x̃)→ p'   ⇒  fn(p') ⊆ fn(p) ∪ x̃
+//! 3. p —τ→ p'      ⇒  fn(p') ⊆ fn(p)
+//! Corollary 1: p ⇒ p' ⇒ fn(p') ⊆ fn(p)
+//! ```
+//!
+//! Property-tested over randomly generated finite processes and over
+//! recursive samples.
+
+use bpi::core::action::Action;
+use bpi::core::builder::*;
+use bpi::core::name::NameSet;
+use bpi::core::syntax::Defs;
+use bpi::equiv::arbitrary::{Gen, GenCfg};
+use bpi::semantics::{Lts, Weak};
+use proptest::prelude::*;
+
+fn subset(a: &NameSet, b: &NameSet) -> bool {
+    a.iter().all(|n| b.contains(n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lemma1_on_random_processes(seed in 0u64..5_000) {
+        let cfg = GenCfg::finite_monadic(names(["a", "b", "c"]).to_vec());
+        let p = Gen::new(cfg, seed).process();
+        let defs = Defs::new();
+        let lts = Lts::new(&defs);
+        let fnp = p.free_names();
+
+        for (act, cont) in lts.step_transitions(&p) {
+            let fnc = cont.free_names();
+            match &act {
+                Action::Tau => {
+                    prop_assert!(subset(&fnc, &fnp), "τ grew fn: {p} -> {cont}");
+                }
+                Action::Output { objects, bound, .. } => {
+                    // fn(p') ⊆ fn(p) ∪ ỹ (the extruded names may appear).
+                    let mut allowed = fnp.clone();
+                    for b in bound {
+                        allowed.insert(*b);
+                    }
+                    prop_assert!(
+                        subset(&fnc, &allowed),
+                        "output grew fn beyond extrusions: {p} -{act}-> {cont}"
+                    );
+                    // x̃ ∖ ỹ ⊆ fn(p).
+                    for o in objects {
+                        if !bound.contains(o) {
+                            prop_assert!(fnp.contains(*o), "free object {o} not free in {p}");
+                        }
+                    }
+                }
+                _ => unreachable!("step transitions are τ/output only"),
+            }
+        }
+
+        // Clause 2: inputs may add exactly the received names.
+        let pool = names(["a", "b", "c"]).to_vec();
+        for (act, cont) in lts.input_transitions(&p, &pool) {
+            let mut allowed = fnp.clone();
+            for o in act.objects() {
+                allowed.insert(*o);
+            }
+            prop_assert!(
+                subset(&cont.free_names(), &allowed),
+                "input grew fn: {p} -{act}-> {cont}"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary1_weak_reduction_shrinks_fn(seed in 0u64..2_000) {
+        let cfg = GenCfg::finite_monadic(names(["a", "b"]).to_vec());
+        let p = Gen::new(cfg, seed).process();
+        let defs = Defs::new();
+        let w = Weak::new(Lts::new(&defs));
+        let fnp = p.free_names();
+        for q in w.tau_closure(&p) {
+            prop_assert!(subset(&q.free_names(), &fnp), "⇒ grew fn: {p} => {q}");
+        }
+    }
+}
+
+#[test]
+fn lemma1_on_recursive_processes() {
+    // (rec X(a,b). āb.X⟨a,b⟩)⟨a,b⟩ and extruding variants.
+    let [a, b, t] = names(["a", "b", "t"]);
+    let xid = bpi::core::syntax::Ident::new("L1Rec");
+    let defs = Defs::new();
+    let lts = Lts::new(&defs);
+    let samples = vec![
+        rec(xid, [a, b], out(a, [b], var(xid, [a, b])), [a, b]),
+        rec(xid, [a, b], new(t, out(a, [t], var(xid, [a, b]))), [a, b]),
+    ];
+    for p in samples {
+        let fnp = p.free_names();
+        for (act, cont) in lts.step_transitions(&p) {
+            let mut allowed = fnp.clone();
+            for bnd in act.bound_names() {
+                allowed.insert(*bnd);
+            }
+            assert!(
+                cont.free_names().iter().all(|n| allowed.contains(n)),
+                "fn grew on {p} -{act}-> {cont}"
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Edge cases of the polyadic calculus: multi-name scope extrusion,
+//! repeated objects, wide tuples, and deep recursion — exercising the
+//! corners Table 3's side conditions guard.
+
+use bpi::axioms::Prover;
+use bpi::core::builder::*;
+use bpi::core::syntax::{Defs, Ident};
+use bpi::core::Action;
+use bpi::equiv::{congruent_strong, strong_bisimilar, Opts};
+use bpi::semantics::Lts;
+
+fn d() -> Defs {
+    Defs::new()
+}
+
+#[test]
+fn double_extrusion_in_one_broadcast() {
+    // νx νy ā⟨x,y,x⟩ — two private names leave in one message, one of
+    // them twice.
+    let defs = d();
+    let [a, x, y] = names(["a", "x", "y"]);
+    let p = new(x, new(y, out_(a, [x, y, x])));
+    let lts = Lts::new(&defs);
+    let ts = lts.step_transitions(&p);
+    assert_eq!(ts.len(), 1);
+    match &ts[0].0 {
+        Action::Output {
+            chan,
+            objects,
+            bound,
+        } => {
+            assert_eq!(*chan, a);
+            assert_eq!(bound.len(), 2);
+            assert_eq!(objects.len(), 3);
+            assert_eq!(objects[0], objects[2], "repeated object must stay equal");
+            assert_ne!(objects[0], objects[1]);
+        }
+        other => panic!("expected output, got {other}"),
+    }
+}
+
+#[test]
+fn extruded_pair_reaches_receiver_coherently() {
+    // νx νy (ā⟨x,y⟩ ‖ x̄?) with a receiver binding two names and
+    // testing their distinctness.
+    let defs = d();
+    let [a, x, y, u, v, hit, miss] = names(["a", "x", "y", "u", "v", "hit", "miss"]);
+    let sys = par(
+        new(x, new(y, out(a, [x, y], inp(x, [], out_(hit, []))))),
+        inp(a, [u, v], mat(u, v, out_(miss, []), out_(u, []))),
+    );
+    // After the broadcast: receiver got distinct fresh names, broadcasts
+    // on the first; the sender's continuation hears it and signals hit.
+    let g = bpi::semantics::explore(&sys, &defs, bpi::semantics::ExploreOpts::default());
+    assert!(!g.truncated);
+    assert!(g.can_output_on(hit), "private rendezvous failed");
+    assert!(!g.can_output_on(miss), "fresh names were conflated");
+}
+
+#[test]
+fn repeated_binder_positions_receive_componentwise() {
+    // a(u,v).(u=v) distinguishes ā⟨b,b⟩ from ā⟨b,c⟩.
+    let defs = d();
+    let [a, b, c, u, v, eq, ne] = names(["a", "b", "c", "u", "v", "eq", "ne"]);
+    let recv = inp(a, [u, v], mat(u, v, out_(eq, []), out_(ne, [])));
+    let lts = Lts::new(&defs);
+    let same = par(out_(a, [b, b]), recv.clone());
+    let diff = par(out_(a, [b, c]), recv);
+    let run = |p| {
+        let g = bpi::semantics::explore(&p, &defs, bpi::semantics::ExploreOpts::default());
+        (g.can_output_on(eq), g.can_output_on(ne))
+    };
+    assert_eq!(run(same), (true, false));
+    assert_eq!(run(diff), (false, true));
+    let _ = lts;
+}
+
+#[test]
+fn polyadic_prover_agreement() {
+    // The normal-form prover on polyadic terms: object tuples compared
+    // componentwise, (SP)-style per-tuple matching.
+    let [a, b, c, u, v] = names(["a", "b", "c", "u", "v"]);
+    let defs = d();
+    // ā⟨b,c⟩ ≁c ā⟨c,b⟩ …
+    let p = out_(a, [b, c]);
+    let q = out_(a, [c, b]);
+    assert!(!Prover::new().congruent(&p, &q));
+    assert!(!congruent_strong(&p, &q, &defs, Opts::default()));
+    // … but they agree under the identification b = c.
+    let p2 = mat(b, c, out_(a, [b, c]), nil());
+    let q2 = mat(b, c, out_(a, [c, b]), nil());
+    assert!(Prover::new().congruent(&p2, &q2));
+    assert!(congruent_strong(&p2, &q2, &defs, Opts::default()));
+    // Dyadic input vs nil: inputs are invisible regardless of arity.
+    let r = inp_(a, [u, v]);
+    assert!(strong_bisimilar(&r, &nil(), &defs));
+    assert!(!Prover::new().congruent(&r, &nil()), "~c still separates");
+}
+
+#[test]
+fn mixed_arities_on_one_channel() {
+    // A process listening at two arities on the same channel receives
+    // whichever tuple width is broadcast.
+    let defs = d();
+    let [a, b, c, x, y, one, two] = names(["a", "b", "c", "x", "y", "one", "two"]);
+    let poly = sum(
+        inp(a, [x], out_(one, [x])),
+        inp(a, [x, y], out_(two, [x, y])),
+    );
+    let lts = Lts::new(&defs);
+    let r1 = lts.receives(&poly, a, &[b]);
+    assert_eq!(r1.len(), 1);
+    assert!(bpi::core::alpha_eq(&r1[0], &out_(one, [b])));
+    let r2 = lts.receives(&poly, a, &[b, c]);
+    assert_eq!(r2.len(), 1);
+    assert!(bpi::core::alpha_eq(&r2[0], &out_(two, [b, c])));
+}
+
+#[test]
+fn deep_recursion_unfolds_lazily() {
+    // A counter-like recursion with several parameters: 200 unfoldings
+    // stay cheap because unfolding happens one prefix at a time.
+    let defs = d();
+    let [a, b, c] = names(["a", "b", "c"]);
+    let id = Ident::new("DeepRec");
+    let p = rec(
+        id,
+        [a, b, c],
+        out(a, [b], var(id, [b, c, a])), // rotate the parameters
+        [a, b, c],
+    );
+    let lts = Lts::new(&defs);
+    let mut cur = p;
+    let mut subjects = Vec::new();
+    for _ in 0..200 {
+        let ts = lts.step_transitions(&cur);
+        assert_eq!(ts.len(), 1);
+        subjects.push(ts[0].0.subject().unwrap());
+        cur = ts[0].1.clone();
+    }
+    // The rotation cycles a → b → c → a …
+    assert_eq!(subjects[0], a);
+    assert_eq!(subjects[1], b);
+    assert_eq!(subjects[2], c);
+    assert_eq!(subjects[3], a);
+    assert_eq!(subjects[199], subjects[199 % 3]);
+}
+
+#[test]
+fn wide_tuples_roundtrip_through_everything() {
+    // A 5-ary message (the arity of Example 2's transactions).
+    let defs = d();
+    let [a, t, ty, pt, req, val, okc] = names(["a", "t", "ty", "pt", "req", "val", "okq"]);
+    let binders: Vec<_> = (0..5)
+        .map(|i| bpi::core::Name::intern_raw(&format!("wb{i}")))
+        .collect();
+    let sys = par(
+        out_(a, [t, ty, pt, req, val]),
+        inp(a, binders.clone(), out_(okc, [binders[4]])),
+    );
+    let g = bpi::semantics::explore(&sys, &defs, bpi::semantics::ExploreOpts::default());
+    assert!(g.can_output_on(okc));
+    // And the parser handles the arity.
+    let printed = sys.to_string();
+    assert_eq!(bpi::core::parse_process(&printed).unwrap(), sys);
+}

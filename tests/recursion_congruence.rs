@@ -1,0 +1,154 @@
+//! Experiment E25 — Definition 12, Lemma 15, Corollary 5: the
+//! congruence is preserved by recursion.
+//!
+//! For open processes `E`, `F` with a free identifier `X`, the paper
+//! defines `E ~c F` as `E(p) ~c F(p)` for all `p` (Definition 12) and
+//! proves `(rec X(x̃).E)⟨x̃⟩ ~c (rec X(x̃).F)⟨x̃⟩` (Lemma 15,
+//! Corollary 5). Executable rendering: we check `E(p) ~c F(p)` on a
+//! battery of plugged processes, then compare the recursive closures
+//! with the bisimilarity checker (recursion makes the processes
+//! infinite-behaviour but finite-control, so the graph-based checkers
+//! still decide them).
+
+use bpi::core::builder::*;
+use bpi::core::subst::plug_ident;
+use bpi::core::syntax::{Defs, Ident, P};
+use bpi::equiv::{congruent_strong, Checker, Opts};
+
+fn defs() -> Defs {
+    Defs::new()
+}
+
+/// The paper's own illustration of Definition 12:
+/// `E = āb.X⟨a,b⟩ + νc āc.X⟨c,b⟩`, plugged with
+/// `p = (z₁, z₂)(z̄₁.z̄₂ ‖ z̄₂)` gives
+/// `āb.(ā.b̄ ‖ b̄) + νc āc.(c̄.b̄ ‖ b̄)`.
+#[test]
+fn definition12_example_shape() {
+    let [a, b, c, z1, z2] = names(["a", "b", "c", "z1", "z2"]);
+    let x = Ident::new("XPlug");
+    let e = sum(
+        out(a, [b], var(x, [a, b])),
+        new(c, out(a, [c], var(x, [c, b]))),
+    );
+    let p = par(out(z1, [], out_(z2, [])), out_(z2, []));
+    let plugged = plug_ident(&e, x, &[z1, z2], &p);
+    let expected = sum(
+        out(a, [b], par(out(a, [], out_(b, [])), out_(b, []))),
+        new(
+            c,
+            out(a, [c], par(out(c, [], out_(b, [])), out_(b, []))),
+        ),
+    );
+    assert_eq!(plugged, expected, "got {plugged}");
+}
+
+/// Checks `E(p) ~c F(p)` over a battery of plugs, then the recursive
+/// closure equality.
+fn lemma15_check(e: &P, f: &P, x: Ident, params: &[bpi::core::Name]) {
+    let d = defs();
+    let [a, b] = names(["a", "b"]);
+    let plugs: Vec<P> = vec![
+        nil(),
+        out_(a, []),
+        out(a, [], out_(b, [])),
+        inp_(a, [params.first().copied().unwrap_or(b)]),
+    ];
+    for p in &plugs {
+        let ep = plug_ident(e, x, params, p);
+        let fp = plug_ident(f, x, params, p);
+        assert!(
+            congruent_strong(&ep, &fp, &d, Opts::default()),
+            "E(p) ≁c F(p) for plug {p}: {ep} vs {fp}"
+        );
+    }
+    // The recursive closures. (rec X(x̃).E)⟨x̃⟩ vs (rec X(x̃).F)⟨x̃⟩.
+    let re = rec(x, params.to_vec(), e.clone(), params.to_vec());
+    let rf = rec(x, params.to_vec(), f.clone(), params.to_vec());
+    let checker = Checker::new(&d);
+    assert!(
+        checker.strong(&re, &rf),
+        "recursion broke the congruence: {re} vs {rf}"
+    );
+}
+
+#[test]
+fn lemma15_structural_bodies() {
+    // E = āb.X⟨a,b⟩, F = āb.(X⟨a,b⟩ ‖ nil): congruent bodies, congruent
+    // recursions.
+    let [a, b] = names(["a", "b"]);
+    let x = Ident::new("XRec1");
+    let e = out(a, [b], var(x, [a, b]));
+    let f = out(a, [b], par(var(x, [a, b]), nil()));
+    lemma15_check(&e, &f, x, &[a, b]);
+}
+
+#[test]
+fn lemma15_commuted_sums() {
+    let [a, b] = names(["a", "b"]);
+    let x = Ident::new("XRec2");
+    let e = sum(out(a, [], var(x, [a, b])), out(b, [], var(x, [a, b])));
+    let f = sum(out(b, [], var(x, [a, b])), out(a, [], var(x, [a, b])));
+    lemma15_check(&e, &f, x, &[a, b]);
+}
+
+#[test]
+fn lemma15_noisy_bodies() {
+    // The (H)-shaped body: E = ā.X, F = ā.(X + φ c(w).X) with the
+    // freshness condition — congruent for every plug that does not
+    // listen on c, and the recursive closures agree.
+    let [a, b, c, w] = names(["a", "b", "c", "w"]);
+    let x = Ident::new("XRec3");
+    let e = out(a, [], var(x, [a, b]));
+    // φ = (c ≠ a) ∧ (c ≠ b) encoded with matches; the plugs we use
+    // below listen on a at most, never on c.
+    let guarded = mat(
+        c,
+        a,
+        nil(),
+        mat(c, b, nil(), inp(c, [w], var(x, [a, b]))),
+    );
+    let f = out(a, [], sum(var(x, [a, b]), guarded));
+    let d = defs();
+    // Plugs that never listen on c.
+    let plugs: Vec<P> = vec![nil(), out_(b, []), tau(out_(a, []))];
+    for p in &plugs {
+        let ep = plug_ident(&e, x, &[a, b], p);
+        let fp = plug_ident(&f, x, &[a, b], p);
+        assert!(
+            congruent_strong(&ep, &fp, &d, Opts::default()),
+            "noisy body: E(p) ≁c F(p) for {p}"
+        );
+    }
+    let re = rec(x, [a, b], e, [a, b]);
+    let rf = rec(x, [a, b], f, [a, b]);
+    assert!(Checker::new(&d).strong(&re, &rf));
+}
+
+#[test]
+fn non_congruent_bodies_produce_non_congruent_recursions() {
+    // Sanity for the converse: if E(p) and F(p) differ, the recursions
+    // differ too (here observable in the first unfolding).
+    let [a, b, c] = names(["a", "b", "c"]);
+    let x = Ident::new("XRec4");
+    let e = out(a, [b], var(x, [a, b]));
+    let f = out(a, [c], var(x, [a, b]));
+    let d = defs();
+    let re = rec(x, [a, b], e, [a, b]);
+    let rf = rec(x, [a, b], f, [a, b]);
+    assert!(!Checker::new(&d).strong(&re, &rf));
+}
+
+#[test]
+fn plug_respects_shadowing() {
+    // An inner rec X shadows the outer identifier: plugging must not
+    // reach inside it.
+    let [a, b] = names(["a", "b"]);
+    let x = Ident::new("XShadow");
+    let inner = rec(x, [a], out(a, [], var(x, [a])), [a]);
+    let e = sum(var(x, [a, b]), inner.clone());
+    let p = out_(b, []);
+    let plugged = plug_ident(&e, x, &[a, b], &p);
+    // The outer Var was replaced; the inner rec survived untouched.
+    assert_eq!(plugged, sum(p, inner));
+}

@@ -1,0 +1,184 @@
+//! Experiment E2 — well-formedness of Tables 2 and 3.
+//!
+//! * **receive-xor-discard dichotomy**: for every process `p` and
+//!   channel `a` (at a consistent arity), `p —a:→` iff `p` has no
+//!   `a(ṽ)`-transition — a process either hears a broadcast or ignores
+//!   it, never both, never neither;
+//! * **outputs are never blocked**: composing an output-capable process
+//!   with any listener/non-listener never removes its output subjects;
+//! * the syntactic heads of `bpi-axioms` (derived from the *axioms*)
+//!   agree with the SOS transitions of `bpi-semantics` (derived from
+//!   Table 3) on finite processes — two independent implementations of
+//!   the first transition layer.
+
+use bpi::core::builder::*;
+use bpi::core::canon::canon;
+use bpi::core::name::Name;
+use bpi::core::syntax::Defs;
+use bpi::equiv::arbitrary::{Gen, GenCfg};
+use bpi::semantics::{discards, Lts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn receive_xor_discard(seed in 0u64..10_000) {
+        let ns = names(["a", "b", "c"]);
+        let cfg = GenCfg::finite_monadic(ns.to_vec());
+        let p = Gen::new(cfg, seed).process();
+        let defs = Defs::new();
+        let lts = Lts::new(&defs);
+        let v = Name::new("vv");
+        for a in ns {
+            let receives = !lts.receives(&p, a, &[v]).is_empty();
+            let discards = discards(&p, a, &defs);
+            // The generator is monadic, so arity always matches and the
+            // dichotomy is exact.
+            prop_assert!(
+                receives != discards,
+                "dichotomy failed for {p} on {a}: receives={receives} discards={discards}"
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_never_blocked(seed in 0u64..10_000) {
+        // For p ‖ q, every output subject of p alone is still an output
+        // subject of the composition (rules 13/14: someone receives or
+        // everyone discards — the send happens either way).
+        let ns = names(["a", "b"]);
+        let cfg = GenCfg::finite_monadic(ns.to_vec());
+        let mut g = Gen::new(cfg, seed);
+        let p = g.process();
+        let q = g.process();
+        let defs = Defs::new();
+        let lts = Lts::new(&defs);
+        let subjects = |x: &bpi::core::syntax::P| {
+            lts.step_transitions(x)
+                .into_iter()
+                .filter(|(a, _)| a.is_output())
+                .filter_map(|(a, _)| a.subject())
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        let solo = subjects(&p);
+        let composed = subjects(&par(p.clone(), q.clone()));
+        for s in &solo {
+            prop_assert!(
+                composed.contains(s),
+                "output on {s} of {p} blocked by composition with {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn axiom_heads_agree_with_sos(seed in 0u64..10_000) {
+        // The Table 7/8 rewrites and the Table 3 SOS rules must produce
+        // the same step moves (same multiset of (label, continuation) up
+        // to α and the bound-output representative choice).
+        let ns = names(["a", "b"]);
+        let cfg = GenCfg::finite_monadic(ns.to_vec());
+        let p = Gen::new(cfg, seed).process();
+        let defs = Defs::new();
+        let lts = Lts::new(&defs);
+
+        // SOS side: τ and output steps, as canonical summand strings.
+        let mut sos: Vec<String> = lts
+            .step_transitions(&p)
+            .into_iter()
+            .map(|(act, cont)| summand_key(&act, &cont))
+            .collect();
+        sos.sort();
+        sos.dedup();
+
+        // Axiom side.
+        let mut ax: Vec<String> = bpi::axioms::heads(&p)
+            .into_iter()
+            .filter(|(h, _)| !h.is_input())
+            .map(|(h, cont)| head_key(&h, &cont))
+            .collect();
+        ax.sort();
+        ax.dedup();
+
+        prop_assert_eq!(sos, ax, "head disagreement on {}", p);
+    }
+}
+
+/// Canonical key for an SOS step move: normalise extruded names to
+/// positional markers and α-canonicalise the continuation.
+fn summand_key(act: &bpi::core::Action, cont: &bpi::core::syntax::P) -> String {
+    use bpi::core::subst::Subst;
+    use bpi::core::Action;
+    match act {
+        Action::Tau => format!("tau.{}", canon(&bpi::core::prune(cont))),
+        Action::Output {
+            chan,
+            objects,
+            bound,
+        } => {
+            let mut s = Subst::identity();
+            for (i, b) in bound.iter().enumerate() {
+                s.bind(*b, Name::intern_raw(&format!("#K{i}")));
+            }
+            let objs: Vec<String> = objects.iter().map(|o| s.apply(*o).to_string()).collect();
+            format!(
+                "{}<{}>!{}.{}",
+                chan,
+                objs.join(","),
+                bound.len(),
+                canon(&bpi::core::prune(&s.apply_process(cont)))
+            )
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// The same canonical key for an axiom-side head.
+fn head_key(h: &bpi::axioms::Head, cont: &bpi::core::syntax::P) -> String {
+    use bpi::axioms::Head;
+    use bpi::core::subst::Subst;
+    match h {
+        Head::Tau => format!("tau.{}", canon(&bpi::core::prune(cont))),
+        Head::Output(chan, objects) => {
+            let objs: Vec<String> = objects.iter().map(|o| o.to_string()).collect();
+            format!(
+                "{}<{}>!0.{}",
+                chan,
+                objs.join(","),
+                canon(&bpi::core::prune(cont))
+            )
+        }
+        Head::BoundOutput {
+            chan,
+            objects,
+            bound,
+        } => {
+            let mut s = Subst::identity();
+            for (i, b) in bound.iter().enumerate() {
+                s.bind(*b, Name::intern_raw(&format!("#K{i}")));
+            }
+            let objs: Vec<String> = objects.iter().map(|o| s.apply(*o).to_string()).collect();
+            format!(
+                "{}<{}>!{}.{}",
+                chan,
+                objs.join(","),
+                bound.len(),
+                canon(&bpi::core::prune(&s.apply_process(cont)))
+            )
+        }
+        Head::Input(..) => unreachable!(),
+    }
+}
+
+#[test]
+fn dichotomy_holds_for_recursive_processes() {
+    let [a, b, x] = names(["a", "b", "x"]);
+    let xid = bpi::core::syntax::Ident::new("SanR");
+    let defs = Defs::new();
+    let lts = Lts::new(&defs);
+    let p = rec(xid, [a], inp(a, [x], var(xid, [a])), [a]);
+    assert!(!lts.receives(&p, a, &[b]).is_empty());
+    assert!(!discards(&p, a, &defs));
+    assert!(lts.receives(&p, b, &[a]).is_empty());
+    assert!(discards(&p, b, &defs));
+}

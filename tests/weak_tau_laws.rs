@@ -1,0 +1,124 @@
+//! Experiment E26 — Milner's τ-laws under broadcast (an extension the
+//! paper leaves to future work: "for the weak case … we shall defer to
+//! future work").
+//!
+//! In CCS the weak (observational) congruence satisfies
+//!
+//! ```text
+//! (T1) α.τ.p = α.p
+//! (T2) p + τ.p = τ.p
+//! (T3) α.(p + τ.q) = α.(p + τ.q) + α.q
+//! ```
+//!
+//! Under broadcast, (T1) and (T3) survive, but **(T2) fails whenever `p`
+//! listens**: `p + τ.p` is obliged to hear a broadcast that `τ.p` may
+//! silently duck (discarding is a capability, and `τ` changes it). This
+//! is a genuinely broadcast-specific divergence from CCS, in the same
+//! family as the noisy axiom (H) — and exactly the kind of fact an
+//! executable semantics is for.
+
+use bpi::core::builder::*;
+use bpi::core::syntax::{Defs, P};
+use bpi::equiv::{congruent_weak, Checker, Opts, Variant};
+
+fn d() -> Defs {
+    Defs::new()
+}
+
+fn weakly_congruent(p: &P, q: &P) -> bool {
+    congruent_weak(p, q, &d(), Opts::default())
+}
+
+#[test]
+fn t1_holds() {
+    let [a, b, x] = names(["a", "b", "x"]);
+    let bodies: Vec<P> = vec![nil(), out_(b, []), inp_(b, [x]), sum(out_(a, []), tau_())];
+    for p in bodies {
+        // Output prefix.
+        assert!(
+            weakly_congruent(&out(a, [], tau(p.clone())), &out(a, [], p.clone())),
+            "(T1) failed for ā with {p}"
+        );
+        // Input prefix.
+        assert!(
+            weakly_congruent(&inp(a, [x], tau(p.clone())), &inp(a, [x], p.clone())),
+            "(T1) failed for a(x) with {p}"
+        );
+        // τ prefix.
+        assert!(
+            weakly_congruent(&tau(tau(p.clone())), &tau(p.clone())),
+            "(T1) failed for τ with {p}"
+        );
+    }
+}
+
+#[test]
+fn t2_holds_for_deaf_processes() {
+    // p with no unguarded inputs: discard capabilities agree, (T2) holds.
+    let [a, b] = names(["a", "b"]);
+    let deaf: Vec<P> = vec![nil(), out_(b, []), out(a, [], out_(b, [])), tau(out_(a, []))];
+    for p in deaf {
+        assert!(
+            weakly_congruent(&sum(p.clone(), tau(p.clone())), &tau(p.clone())),
+            "(T2) failed for deaf {p}"
+        );
+    }
+}
+
+#[test]
+fn t2_fails_for_listening_processes() {
+    // p = a(x).c̄: p + τ.p must hear a broadcast on a; τ.p discards it.
+    let d = d();
+    let [a, c, x] = names(["a", "c", "x"]);
+    let p = inp(a, [x], out_(c, []));
+    let lhs = sum(p.clone(), tau(p.clone()));
+    let rhs = tau(p.clone());
+    assert!(
+        !weakly_congruent(&lhs, &rhs),
+        "(T2) must fail under broadcast for listening p"
+    );
+    // It is not even weak labelled bisimilar: the discard capabilities
+    // differ at the first step.
+    let checker = Checker::new(&d);
+    assert!(
+        !checker.bisimilar(Variant::WeakLabelled, &lhs, &rhs),
+        "≈ must already separate them"
+    );
+    // Semantic witness: in parallel with a broadcaster, rhs can duck the
+    // message (τ first, message discarded mid-flight is impossible —
+    // the broadcast happens before the τ) — precisely: rhs —a(v)?→ rhs
+    // by discard, lhs cannot discard a.
+    let lts = bpi::semantics::Lts::new(&d);
+    assert!(!lts.discards(&lhs, a));
+    assert!(lts.discards(&rhs, a));
+}
+
+#[test]
+fn t3_holds_on_samples() {
+    let [a, b, c, x] = names(["a", "b", "c", "x"]);
+    let cases: Vec<(P, P)> = vec![
+        (out_(b, []), out_(c, [])),
+        (tau(out_(b, [])), nil()),
+        (out_(b, []), inp_(c, [x])),
+    ];
+    for (p, q) in cases {
+        let base = out(a, [], sum(p.clone(), tau(q.clone())));
+        let lhs = base.clone();
+        let rhs = sum(base, out(a, [], q.clone()));
+        assert!(
+            weakly_congruent(&lhs, &rhs),
+            "(T3) failed for p={p}, q={q}"
+        );
+    }
+}
+
+#[test]
+fn tau_is_not_erasable_at_top_level() {
+    // τ.p ≈ p but τ.p ≉c p (as in CCS observational congruence).
+    let defs = d();
+    let a = bpi::core::Name::new("a");
+    let p = out_(a, []);
+    let checker = Checker::new(&defs);
+    assert!(checker.bisimilar(Variant::WeakLabelled, &tau(p.clone()), &p));
+    assert!(!weakly_congruent(&tau(p.clone()), &p));
+}
