@@ -32,6 +32,7 @@ use bpi_core::canon::canon;
 use bpi_core::name::{Name, NameSet};
 use bpi_core::subst::Subst;
 use bpi_core::syntax::P;
+use bpi_semantics::{Budget, EngineError};
 use std::collections::HashMap;
 
 /// Normal-form prover for `~c` on finite processes.
@@ -39,11 +40,16 @@ pub struct Prover {
     /// Enable the noisy-axiom (H) saturation (default). Without it the
     /// procedure is sound but incomplete.
     pub use_noisy: bool,
+    /// Resource envelope for the decision procedure: each `decide` call
+    /// counts one unit against the state budget, and the deadline/
+    /// cancellation flag are polled at the same point.
+    pub budget: Budget,
     memo: HashMap<(P, P, bool), bool>,
     /// When tracing, the justification log (and memoisation is disabled
     /// so every step is recorded).
     trace: Option<Vec<String>>,
     depth: usize,
+    steps: usize,
 }
 
 /// One entry of a justification trace (see [`Prover::congruent_traced`]).
@@ -59,19 +65,29 @@ impl Prover {
     pub fn new() -> Prover {
         Prover {
             use_noisy: true,
+            budget: Budget::unlimited(),
             memo: HashMap::new(),
             trace: None,
             depth: 0,
+            steps: 0,
         }
     }
 
     pub fn without_noisy() -> Prover {
         Prover {
             use_noisy: false,
+            budget: Budget::unlimited(),
             memo: HashMap::new(),
             trace: None,
             depth: 0,
+            steps: 0,
         }
+    }
+
+    /// Replaces the prover's resource envelope.
+    pub fn with_budget(mut self, budget: Budget) -> Prover {
+        self.budget = budget;
+        self
     }
 
     fn log(&mut self, msg: impl FnOnce() -> String) {
@@ -109,10 +125,18 @@ impl Prover {
     /// assert!(!Prover::without_noisy().congruent(&lhs, &rhs));
     /// ```
     pub fn congruent(&mut self, p: &P, q: &P) -> bool {
+        self.try_congruent(p, q).unwrap_or(false)
+    }
+
+    /// [`Prover::congruent`] with typed resource exhaustion: `Err` when
+    /// the decision procedure exceeds its [`Budget`] (each recursive
+    /// `decide` step costs one unit) before reaching a verdict.
+    pub fn try_congruent(&mut self, p: &P, q: &P) -> Result<bool, EngineError> {
         assert!(
             p.is_finite() && q.is_finite(),
             "the Section 5 axiomatisation covers finite processes only"
         );
+        self.steps = 0;
         let fns = p.free_names().union(&q.free_names());
         for part in Partition::enumerate(&fns) {
             let s = part.collapse();
@@ -120,22 +144,24 @@ impl Prover {
             let qs = s.apply_process(q);
             self.log(|| format!("(C3/C5) complete condition {}", part.condition()));
             // Outermost step strict (the `~₊` layer of Definition 11).
-            if !self.decide(&ps, &qs, true) {
+            if !self.decide(&ps, &qs, true)? {
                 self.log(|| "  ✗ refuted under this condition".to_string());
-                return false;
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 
     /// Decides the bisimulation layer: `p ~ q` for concrete names
     /// (conditions already collapsed). `strict` disables discard-matching
     /// of inputs for this step only.
-    fn decide(&mut self, p: &P, q: &P, strict: bool) -> bool {
+    fn decide(&mut self, p: &P, q: &P, strict: bool) -> Result<bool, EngineError> {
+        self.steps += 1;
+        self.budget.check(self.steps)?;
         let key = (canon(p), canon(q), strict);
         if self.trace.is_none() {
             if let Some(&r) = self.memo.get(&key) {
-                return r;
+                return Ok(r);
             }
         }
         // Optimistically assume equal to cut trivial syntactic loops —
@@ -144,11 +170,10 @@ impl Prover {
         let hp = heads(p);
         let hq = heads(q);
         self.depth += 1;
-        let r = self.match_dir(&hp, &hq, q, strict)
-            && self.match_dir(&hq, &hp, p, strict);
+        let r = self.match_dir(&hp, &hq, q, strict)? && self.match_dir(&hq, &hp, p, strict)?;
         self.depth -= 1;
         self.memo.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Every head of `hp` is matched by some head of `hq` (whose whole
@@ -159,23 +184,32 @@ impl Prover {
         hq: &[(Head, P)],
         q_whole: &P,
         strict: bool,
-    ) -> bool {
+    ) -> Result<bool, EngineError> {
         for (h, cont) in hp {
             let ok = match h {
                 Head::Tau => {
-                    let m = hq
-                        .iter()
-                        .any(|(h2, c2)| matches!(h2, Head::Tau) && self.decide(cont, c2, false));
+                    let mut m = false;
+                    for (h2, c2) in hq {
+                        if matches!(h2, Head::Tau) && self.decide(cont, c2, false)? {
+                            m = true;
+                            break;
+                        }
+                    }
                     if m {
                         self.log(|| "(S*) τ summand matched".to_string());
                     }
                     m
                 }
                 Head::Output(a, ys) => {
-                    let m = hq.iter().any(|(h2, c2)| {
-                        matches!(h2, Head::Output(b, zs) if b == a && zs == ys)
-                            && self.decide(cont, c2, false)
-                    });
+                    let mut m = false;
+                    for (h2, c2) in hq {
+                        if matches!(h2, Head::Output(b, zs) if b == a && zs == ys)
+                            && self.decide(cont, c2, false)?
+                        {
+                            m = true;
+                            break;
+                        }
+                    }
                     if m {
                         self.log(|| format!("(S*) output summand on {a} matched exactly"));
                     }
@@ -187,7 +221,8 @@ impl Prover {
                     bound,
                 } => {
                     let (pat1, cont1) = bound_pattern(*chan, objects, bound, cont);
-                    let m = hq.iter().any(|(h2, c2)| {
+                    let mut m = false;
+                    for (h2, c2) in hq {
                         if let Head::BoundOutput {
                             chan: chan2,
                             objects: objects2,
@@ -195,11 +230,12 @@ impl Prover {
                         } = h2
                         {
                             let (pat2, cont2) = bound_pattern(*chan2, objects2, bound2, c2);
-                            pat1 == pat2 && self.decide(&cont1, &cont2, false)
-                        } else {
-                            false
+                            if pat1 == pat2 && self.decide(&cont1, &cont2, false)? {
+                                m = true;
+                                break;
+                            }
                         }
-                    });
+                    }
                     if m {
                         self.log(|| {
                             format!("(A) bound output on {chan} matched up to α of the extruded names")
@@ -217,25 +253,22 @@ impl Prover {
                     fns.insert(*a);
                     let values = value_pool(&fns);
                     let tuples = tuple_space(&values, xs.len());
-                    tuples.into_iter().all(|tuple| {
+                    let mut all_ok = true;
+                    for tuple in tuples {
                         let inst = Subst::parallel(xs, &tuple).apply_process(cont);
                         // (SP): per-value choice among q's receipts.
-                        let real = hq
-                            .iter()
-                            .map(|hc| (hc.0.clone(), hc.1.clone()))
-                            .collect::<Vec<_>>()
-                            .into_iter()
-                            .any(|(h2, c2)| {
-                                if let Head::Input(b, zs) = h2 {
-                                    b == *a && zs.len() == xs.len() && {
-                                        let inst2 =
-                                            Subst::parallel(&zs, &tuple).apply_process(&c2);
-                                        self.decide(&inst, &inst2, false)
+                        let mut real = false;
+                        for (h2, c2) in hq {
+                            if let Head::Input(b, zs) = h2 {
+                                if *b == *a && zs.len() == xs.len() {
+                                    let inst2 = Subst::parallel(zs, &tuple).apply_process(c2);
+                                    if self.decide(&inst, &inst2, false)? {
+                                        real = true;
+                                        break;
                                     }
-                                } else {
-                                    false
                                 }
-                            });
+                            }
+                        }
                         if real {
                             self.log(|| {
                                 format!(
@@ -243,29 +276,32 @@ impl Prover {
                                     tuple.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
                                 )
                             });
-                            return true;
+                            continue;
                         }
                         // (H): if q is deaf on a, receiving leaves q
                         // untouched.
                         let noisy = self.use_noisy
                             && !strict
                             && !q_listens
-                            && self.decide(&inst, q_whole, false);
+                            && self.decide(&inst, q_whole, false)?;
                         if noisy {
                             self.log(|| {
                                 format!("(H) input on {a} matched by the deaf side's discard")
                             });
+                        } else {
+                            all_ok = false;
+                            break;
                         }
-                        noisy
-                    })
+                    }
+                    all_ok
                 }
             };
             if !ok {
                 self.log(|| format!("✗ unmatched summand: {h:?}"));
-                return false;
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 }
 
@@ -434,6 +470,35 @@ mod tests {
         // to the silent step: νa(ā ‖ a().c̄) ~c τ.νa(nil ‖ c̄) ~c τ.c̄.
         let closed = new(a, sys);
         assert!(prove(&closed, &tau(out_(c, []))));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed_not_a_panic() {
+        // The broadcast-vs-expansion pair takes many decide steps; a
+        // 2-step budget must surface as Err, and a generous one as Ok.
+        let [a, c] = names(["a", "c"]);
+        let sys = par(out_(a, []), inp(a, [], out_(c, [])));
+        let expanded = sum(
+            out(a, [], par(nil(), out_(c, []))),
+            inp(a, [], par(out_(a, []), out_(c, []))),
+        );
+        let mut tight = Prover::new().with_budget(bpi_semantics::Budget::states(2));
+        assert_eq!(
+            tight.try_congruent(&sys, &expanded),
+            Err(EngineError::StateBudgetExceeded { limit: 2 })
+        );
+        // The bool API degrades to false rather than panicking.
+        assert!(!tight.congruent(&sys, &expanded));
+        let mut roomy = Prover::new().with_budget(bpi_semantics::Budget::states(100_000));
+        assert_eq!(roomy.try_congruent(&sys, &expanded), Ok(true));
+        // A pre-raised cancellation flag aborts immediately.
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let mut cancelled =
+            Prover::new().with_budget(Budget::unlimited().with_cancel_flag(flag));
+        assert_eq!(
+            cancelled.try_congruent(&sys, &expanded),
+            Err(EngineError::Cancelled)
+        );
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! B7 — fault-injection overhead: loss-rate × system-size sweep.
+//!
+//! Two questions. First, what the fault layer itself costs: a
+//! `FaultySimulator` run at loss 0 against the plain `Simulator` on the
+//! same system. Second, how detection latency degrades as the channel
+//! gets lossier: steps-to-decision of the resilient cycle detector at
+//! loss rates {0, 0.1, 0.5, 0.9} over growing rings. The retry-on-loss
+//! pumps keep the detector live at any rate below 1, at the price of
+//! more rounds — this sweep makes that price visible.
+
+use bpi_core::syntax::Defs;
+use bpi_encodings::cycle::{resilient_edge_managers_system, Graph};
+use bpi_semantics::{FaultPlan, FaultySimulator, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A directed ring `v0 → v1 → … → v{n-1} → v0` — the worst case for the
+/// detector (the token must survive `n` lossy hops to come home).
+fn ring(n: usize) -> Graph {
+    let labels: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+    let edges: Vec<(&str, &str)> = (0..n)
+        .map(|i| (labels[i].as_str(), labels[(i + 1) % n].as_str()))
+        .collect();
+    Graph::new(&edges)
+}
+
+fn bench_fault_layer_overhead(c: &mut Criterion) {
+    // Same system, same step budget: the faulty runtime at loss 0 vs the
+    // plain simulator. The gap is pure bookkeeping (plan lookups + log).
+    let defs = Defs::new();
+    let (sys, _, _) = resilient_edge_managers_system(&ring(3));
+    let mut group = c.benchmark_group("faults/overhead-100-steps");
+    group.sample_size(10);
+    group.bench_function("plain-sim", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&defs, 11);
+            sim.run(std::hint::black_box(&sys), 100).actions.len()
+        })
+    });
+    group.bench_function("faulty-sim-loss0", |b| {
+        b.iter(|| {
+            let mut sim = FaultySimulator::new(&defs, FaultPlan::new(11));
+            sim.run(std::hint::black_box(&sys), 100).0.actions.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_loss_sweep(c: &mut Criterion) {
+    let defs = Defs::new();
+    let mut group = c.benchmark_group("faults/detect-cycle");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let (sys, _, o) = resilient_edge_managers_system(&ring(n));
+        for &loss in &[0.0f64, 0.1, 0.5, 0.9] {
+            let id = BenchmarkId::new(format!("ring{n}"), format!("loss{loss}"));
+            group.bench_with_input(id, &loss, |b, &loss| {
+                b.iter(|| {
+                    let plan = FaultPlan::new(17).with_default_loss(loss);
+                    let mut sim = FaultySimulator::new(&defs, plan);
+                    let (trace, log) =
+                        sim.run_until_output(std::hint::black_box(&sys), o, 2_000);
+                    // Detection within the cap is guaranteed only on the
+                    // reliable network; at high loss the interesting
+                    // number is how far the budget got (steps × drops).
+                    if loss == 0.0 {
+                        assert!(trace.saw_output_on(o), "ring{n} undetected, loss-free");
+                    }
+                    (trace.saw_output_on(o), trace.actions.len(), log.losses())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bpi_bench::criterion();
+    targets = bench_fault_layer_overhead, bench_loss_sweep
+}
+criterion_main!(benches);

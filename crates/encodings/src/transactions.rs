@@ -33,7 +33,7 @@ use crate::cycle::{edge_manager, has_cycle_dfs, Graph};
 use bpi_core::builder::*;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, Ident, P};
-use bpi_semantics::Simulator;
+use bpi_semantics::{FaultLog, FaultPlan, FaultySimulator, Simulator};
 use std::collections::HashSet;
 
 /// Read or write access.
@@ -136,13 +136,29 @@ pub fn rw_names() -> (Name, Name) {
     (Name::intern_raw("rd"), Name::intern_raw("wr"))
 }
 
+/// Retry-on-loss wrapper: repeats a broadcast forever, so every listener
+/// eventually hears it under any per-message loss rate < 1. A one-shot
+/// `c̄⟨ṽ⟩` is only correct on a reliable network — the broadcast reaches
+/// every *current* listener atomically, but an injected loss (or a
+/// stopped node) drops individual deliveries, and a one-shot sender
+/// never offers them again.
+fn persistent_out(tag: &str, chan: Name, vals: &[Name]) -> P {
+    let id = Ident::new(&format!("Ann{tag}"));
+    rec(
+        id,
+        [chan],
+        out(chan, vals.to_vec(), var(id, [chan])),
+        [chan],
+    )
+}
+
 /// The in-partition transaction manager: for every *later* transaction
 /// on the same item and partition that conflicts with `⟨t, ty⟩`,
 /// broadcast the precedence edge `ē⟨t, t₁⟩`; on `unif` switch to the
 /// cross-partition phase (the paper's `Tr_Man_w`/`Tr_Man_r`, merged by
 /// comparing the stored tag with the `wr` name instead of specialising
 /// the definition).
-fn tr_man(j: &str, p: Name, unif: Name, e: Name, t: Name, ty: Name) -> P {
+fn tr_man(j: &str, p: Name, unif: Name, e: Name, t: Name, ty: Name, resilient: bool) -> P {
     let (_rd, wr) = rw_names();
     let id = Ident::new("TrMan");
     let (t1, ty1, pt1) = (
@@ -153,7 +169,11 @@ fn tr_man(j: &str, p: Name, unif: Name, e: Name, t: Name, ty: Name) -> P {
     let j1 = item_chan(j);
     let j2 = item_chan2(j);
     // Conflict: ty = w ∨ ty₁ = w  ⇒ edge t → t₁.
-    let edge = out_(e, [t, t1]);
+    let edge = if resilient {
+        persistent_out("EdgeP1", e, &[t, t1])
+    } else {
+        out_(e, [t, t1])
+    };
     let conflict = mat(ty, wr, edge.clone(), mat(ty1, wr, edge, nil()));
     let body = sum(
         inp(
@@ -164,7 +184,7 @@ fn tr_man(j: &str, p: Name, unif: Name, e: Name, t: Name, ty: Name) -> P {
                 mat(pt1, p, mat(t1, t, nil(), conflict), nil()),
             ),
         ),
-        inp(unif, [], str_man(j2, p, e, t, ty)),
+        inp(unif, [], str_man(j2, p, e, t, ty, resilient)),
     );
     rec(id, [p, unif, e, t, ty], body, [p, unif, e, t, ty])
 }
@@ -173,7 +193,7 @@ fn tr_man(j: &str, p: Name, unif: Name, e: Name, t: Name, ty: Name) -> P {
 /// local record on the item's phase-2 channel and derive rule-3 edges
 /// (and contrary edges for write/write — the error case) from the other
 /// copies' records.
-fn str_man(j2: Name, p: Name, e: Name, t: Name, ty: Name) -> P {
+fn str_man(j2: Name, p: Name, e: Name, t: Name, ty: Name, resilient: bool) -> P {
     let (rd, wr) = rw_names();
     let id = Ident::new("STrMan");
     let (t1, ty1, pt1) = (
@@ -185,15 +205,22 @@ fn str_man(j2: Name, p: Name, e: Name, t: Name, ty: Name) -> P {
     //   I read, they wrote   → ē⟨t, t₁⟩           (rule 3)
     //   I wrote, they read   → ē⟨t₁, t⟩           (rule 3, other side)
     //   both wrote           → contrary edges     (2-cycle ⇒ error)
+    let fwd = |tag: &str, src: Name, dst: Name| {
+        if resilient {
+            persistent_out(tag, e, &[src, dst])
+        } else {
+            out_(e, [src, dst])
+        }
+    };
     let react = mat(
         ty,
         rd,
-        mat(ty1, wr, out_(e, [t, t1]), nil()),
+        mat(ty1, wr, fwd("EdgeRW", t, t1), nil()),
         mat(
             ty1,
             wr,
-            par(out_(e, [t, t1]), out_(e, [t1, t])),
-            mat(ty1, rd, out_(e, [t1, t]), nil()),
+            par(fwd("EdgeWWa", t, t1), fwd("EdgeWWb", t1, t)),
+            mat(ty1, rd, fwd("EdgeWR", t1, t), nil()),
         ),
     );
     let listen = rec(
@@ -209,16 +236,25 @@ fn str_man(j2: Name, p: Name, e: Name, t: Name, ty: Name) -> P {
         ),
         [j2, p, e, t, ty],
     );
-    // Announce once: the driver fires `unif` before any announcement, so
-    // every cross-partition manager is already listening when the
-    // announcements start (broadcast loses no messages).
-    par(out_(j2, [t, ty, p]), listen)
+    // Reliable network: announce once — the driver fires `unif` before
+    // any announcement, so every cross-partition manager is already
+    // listening when the announcements start (broadcast loses no
+    // messages). Lossy network: keep announcing, so a manager whose
+    // delivery was dropped hears the record on a later round.
+    let announce = if resilient {
+        persistent_out("Record", j2, &[t, ty, p])
+    } else {
+        out_(j2, [t, ty, p])
+    };
+    par(announce, listen)
 }
 
 /// The `Item` manager for one copy (item `j` in partition `p`): forks a
 /// `TrMan` for every transaction executed against this copy; stops
-/// listening for new transactions on `unif`.
-pub fn item_manager(j: &str, p: &str, unif: Name, e: Name) -> P {
+/// listening for new transactions on `unif`. With `resilient` set, the
+/// forked managers use retry-on-loss announcements for the
+/// cross-partition phase.
+pub fn item_manager(j: &str, p: &str, unif: Name, e: Name, resilient: bool) -> P {
     let id = Ident::new("ItemMgr");
     let (t, ty, pt) = (
         Name::intern_raw("qt"),
@@ -234,7 +270,7 @@ pub fn item_manager(j: &str, p: &str, unif: Name, e: Name) -> P {
             [t, ty, pt],
             par(
                 var(id, [j1, j2, pn, unif, e]),
-                mat(pt, pn, tr_man(j, pn, unif, e, t, ty), nil()),
+                mat(pt, pn, tr_man(j, pn, unif, e, t, ty, resilient), nil()),
             ),
         ),
         inp(unif, [], nil()),
@@ -248,6 +284,18 @@ pub fn item_manager(j: &str, p: &str, unif: Name, e: Name) -> P {
 /// manager per precedence edge received. Returns
 /// `(system, defs, error_channel)`.
 pub fn detection_system(h: &History) -> (P, Defs, Name) {
+    detection_system_with(h, false)
+}
+
+/// [`detection_system`] with a fault-tolerance switch. With `resilient`
+/// set, the cross-partition phase uses retry-on-loss wrappers
+/// everywhere a one-shot broadcast would silently assume reliable
+/// delivery: record announcements on the phase-2 item channels,
+/// precedence-edge broadcasts, and the cycle detector's token pumps.
+/// Phase 1 stays one-shot — it models partition-*local* execution, which
+/// the fault plans in the tests keep reliable (channel-targeted loss on
+/// the cross-partition channels only).
+pub fn detection_system_with(h: &History, resilient: bool) -> (P, Defs, Name) {
     let unif = Name::intern_raw("unif");
     let e = Name::intern_raw("edg");
     let error = Name::intern_raw("error");
@@ -265,7 +313,7 @@ pub fn detection_system(h: &History) -> (P, Defs, Name) {
     copies.sort();
     let managers: Vec<P> = copies
         .iter()
-        .map(|(j, p)| item_manager(j, p, unif, e))
+        .map(|(j, p)| item_manager(j, p, unif, e, resilient))
         .collect();
 
     // The driver: broadcast each event in history order on its item
@@ -283,7 +331,7 @@ pub fn detection_system(h: &History) -> (P, Defs, Name) {
         );
     }
 
-    let detector = edge_detector(e, error);
+    let detector = edge_detector(e, error, resilient);
     let sys = par_of(
         std::iter::once(driver)
             .chain(managers)
@@ -293,8 +341,10 @@ pub fn detection_system(h: &History) -> (P, Defs, Name) {
 }
 
 /// A `Detector` variant receiving edge *pairs* in a single broadcast
-/// (`ē⟨src, dst⟩`).
-fn edge_detector(e: Name, error: Name) -> P {
+/// (`ē⟨src, dst⟩`). With `resilient` set, the spawned edge managers use
+/// persistent token pumps, so a token lost on a lossy vertex channel is
+/// re-broadcast until the cycle (if any) is witnessed.
+fn edge_detector(e: Name, error: Name, resilient: bool) -> P {
     let id = Ident::new("EdgeDetector");
     let (x, y) = (Name::intern_raw("ex"), Name::intern_raw("ey"));
     rec(
@@ -303,7 +353,7 @@ fn edge_detector(e: Name, error: Name) -> P {
         inp(
             e,
             [x, y],
-            par(var(id, [e, error]), edge_manager(error, x, y, false)),
+            par(var(id, [e, error]), edge_manager(error, x, y, resilient)),
         ),
         [e, error],
     )
@@ -322,6 +372,23 @@ pub fn detect_inconsistency(h: &History, seeds: std::ops::Range<u64>, steps: usi
         }
     }
     false
+}
+
+/// [`detect_inconsistency`] under an injected fault plan: runs the
+/// *resilient* detection system through a [`FaultySimulator`] and
+/// reports whether the `error` barb was reached, together with the
+/// replayable log of injected faults. The retry-on-loss wrappers mean
+/// the decision barb is still reached (given enough steps) at any
+/// cross-partition loss rate below `1.0`.
+pub fn detect_inconsistency_under_faults(
+    h: &History,
+    plan: &FaultPlan,
+    steps: usize,
+) -> (bool, FaultLog) {
+    let (sys, defs, error) = detection_system_with(h, true);
+    let mut sim = FaultySimulator::new(&defs, plan.clone());
+    let (trace, log) = sim.run_until_output(&sys, error, steps);
+    (trace.saw_output_on(error), log)
 }
 
 /// Random workload generation for the benchmarks: `n_tx` transactions
@@ -438,6 +505,73 @@ mod tests {
                 assert!(is_inconsistent_baseline(&h), "false positive on {h:?}");
             }
         }
+    }
+
+    /// The canonical split-brain history: both copies of `x` accept a
+    /// write during the partition.
+    fn split_brain() -> History {
+        History {
+            events: vec![
+                Event::new("T1", Access::Write, "x", "P0"),
+                Event::new("T2", Access::Write, "x", "P1"),
+            ],
+        }
+    }
+
+    /// A lossy reconnected network: drops hit exactly the channels the
+    /// cross-partition phase traverses (phase-2 record announcements,
+    /// precedence-edge broadcasts, and the detector's per-transaction
+    /// token channels). Partition-local phase 1 stays reliable.
+    fn cross_partition_loss(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with_channel_loss(item_chan2("x"), p)
+            .with_channel_loss(Name::intern_raw("edg"), p)
+            .with_channel_loss(tid_name("T1"), p)
+            .with_channel_loss(tid_name("T2"), p)
+    }
+
+    #[test]
+    fn resilient_detection_survives_cross_partition_loss() {
+        let h = split_brain();
+        for &loss in &[0.0, 0.5, 0.9] {
+            for seed in 0..3u64 {
+                let plan = cross_partition_loss(seed, loss);
+                let (found, log) = detect_inconsistency_under_faults(&h, &plan, 6000);
+                assert!(
+                    found,
+                    "split-brain missed at loss {loss} seed {seed} ({} drops)",
+                    log.losses()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_detection_stays_silent_on_serializable_history() {
+        // Retransmission must not manufacture conflicts: a same-partition
+        // serializable history never raises `error`, lossy or not.
+        let h = History {
+            events: vec![
+                Event::new("T1", Access::Write, "x", "P0"),
+                Event::new("T2", Access::Read, "x", "P0"),
+            ],
+        };
+        for seed in 0..2u64 {
+            let plan = cross_partition_loss(seed, 0.5);
+            let (found, _) = detect_inconsistency_under_faults(&h, &plan, 250);
+            assert!(!found, "false positive under loss, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn total_cross_partition_loss_silences_detection() {
+        // Boundary: at loss 1.0 the reconnected link never delivers, so
+        // even the resilient protocol cannot learn of the remote writes.
+        let h = split_brain();
+        let plan = cross_partition_loss(7, 1.0);
+        let (found, log) = detect_inconsistency_under_faults(&h, &plan, 400);
+        assert!(!found, "detected a conflict across a dead link");
+        assert!(log.losses() > 0, "the dead link should have eaten messages");
     }
 }
 

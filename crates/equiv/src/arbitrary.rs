@@ -144,7 +144,13 @@ impl Gen {
             2 => tau(self.go(depth - 1)),
             3 => sum(self.go(depth - 1), self.go(depth - 1)),
             4 => nil(),
-            5 => par(self.go(depth - 1), self.go(depth - 1)),
+            5 => {
+                // ‖ interleaves prefixes, so `depth` is additive across
+                // branches: split the budget rather than passing it twice,
+                // keeping the documented `max_depth` bound tight.
+                let left = self.rng.gen_range(1..=depth);
+                par(self.go(left), self.go(depth - left))
+            }
             6 => {
                 let x = self.binder();
                 let saved = self.cfg.names.clone();

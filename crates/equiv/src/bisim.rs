@@ -20,6 +20,7 @@ use crate::graph::{shared_pool, Graph, Opts};
 use bpi_core::action::Action;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, P};
+use bpi_semantics::budget::{Budget, EngineError};
 use std::collections::BTreeSet;
 
 /// Which bisimulation to check.
@@ -42,10 +43,41 @@ impl Variant {
     }
 }
 
+/// Three-valued answer of a bisimilarity check: the graphs may be too
+/// large (or the deadline too tight) to decide either way, and that is an
+/// answer, not a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The relation holds at the roots.
+    Holds,
+    /// The relation fails; the string names the variant and roots for
+    /// diagnostics (use [`crate::distinguish`] for a formula witness).
+    Fails(String),
+    /// The engine ran out of resources before reaching a fixpoint over
+    /// complete graphs.
+    Inconclusive(EngineError),
+}
+
+impl Verdict {
+    /// `true` only for [`Verdict::Holds`] — an inconclusive check does
+    /// *not* count as holding.
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Verdict::Inconclusive(_))
+    }
+}
+
 /// Bisimilarity checker over a definition environment.
 pub struct Checker<'d> {
     pub defs: &'d Defs,
     pub opts: Opts,
+    /// Resource envelope for graph construction (deadline/cancellation
+    /// are polled during the build; the state ceiling composes with
+    /// `opts.max_states` by taking the minimum).
+    pub budget: Budget,
 }
 
 /// A computed candidate relation between two graphs, exposed so that the
@@ -94,28 +126,65 @@ impl<'d> Checker<'d> {
         Checker {
             defs,
             opts: Opts::default(),
+            budget: Budget::unlimited(),
         }
     }
 
     pub fn with_opts(defs: &'d Defs, opts: Opts) -> Checker<'d> {
-        Checker { defs, opts }
+        Checker {
+            defs,
+            opts,
+            budget: Budget::unlimited(),
+        }
     }
 
-    /// Decides `p ~ᵥ q` for the chosen variant.
+    /// Replaces the checker's resource envelope.
+    pub fn with_budget(mut self, budget: Budget) -> Checker<'d> {
+        self.budget = budget;
+        self
+    }
+
+    /// Decides `p ~ᵥ q` for the chosen variant as a plain bool.
+    ///
+    /// An [`Verdict::Inconclusive`] outcome (graphs exceeded the state
+    /// budget, deadline passed, cancelled) maps to `false`: the checker
+    /// could not certify the equivalence. Use [`Checker::check`] when the
+    /// distinction matters.
     pub fn bisimilar(&self, v: Variant, p: &P, q: &P) -> bool {
-        let (g1, g2, rel) = self.fixpoint(v, p, q);
-        let _ = (&g1, &g2);
-        rel.holds(0, 0)
+        self.check(v, p, q).holds()
+    }
+
+    /// Decides `p ~ᵥ q` with a three-valued [`Verdict`]: resource
+    /// exhaustion is reported as [`Verdict::Inconclusive`] instead of a
+    /// panic or a silent `false`.
+    pub fn check(&self, v: Variant, p: &P, q: &P) -> Verdict {
+        match self.try_fixpoint(v, p, q) {
+            Ok((_, _, rel)) => {
+                if rel.holds(0, 0) {
+                    Verdict::Holds
+                } else {
+                    Verdict::Fails(format!("{v:?} fails at the root pair"))
+                }
+            }
+            Err(e) => Verdict::Inconclusive(e),
+        }
     }
 
     /// Builds both graphs and computes the greatest bisimulation between
-    /// them for the chosen variant.
-    pub fn fixpoint(&self, v: Variant, p: &P, q: &P) -> (Graph, Graph, PairRelation) {
+    /// them for the chosen variant. `Err` when either graph exceeds the
+    /// state budget (`opts.max_states` ∧ `budget`) or the budget's
+    /// deadline/cancellation fires.
+    pub fn try_fixpoint(
+        &self,
+        v: Variant,
+        p: &P,
+        q: &P,
+    ) -> Result<(Graph, Graph, PairRelation), EngineError> {
         let pool = shared_pool(p, q, self.opts.fresh_inputs);
-        let g1 = Graph::build(p, self.defs, &pool, self.opts);
-        let g2 = Graph::build(q, self.defs, &pool, self.opts);
+        let g1 = Graph::build_with_budget(p, self.defs, &pool, self.opts, &self.budget)?;
+        let g2 = Graph::build_with_budget(q, self.defs, &pool, self.opts, &self.budget)?;
         let rel = refine(v, &g1, &g2);
-        (g1, g2, rel)
+        Ok((g1, g2, rel))
     }
 
     /// Convenience: strong labelled bisimilarity `p ~ q`.
@@ -530,6 +599,47 @@ mod tests {
         let nq2 = new(a, q2);
         assert!(strong_barbed_bisimilar(&np2, &nq2, &d), "νa p2 ~b νa q2");
         assert!(!strong_step_bisimilar(&np2, &nq2, &d), "νa p2 !~φ νa q2");
+    }
+
+    #[test]
+    fn exhaustion_is_inconclusive_not_a_panic() {
+        // BPump(a) = τ.(ā ‖ BPump⟨a⟩) has an unbounded state graph; a
+        // tiny state budget must yield Inconclusive, never abort.
+        let d = defs();
+        let [a] = names(["a"]);
+        let x = bpi_core::syntax::Ident::new("BPump");
+        let p = rec(x, [a], tau(par(out_(a, []), var(x, [a]))), [a]);
+        let c = Checker::with_opts(
+            &d,
+            Opts {
+                max_states: 8,
+                fresh_inputs: 1,
+            },
+        );
+        let v = c.check(Variant::StrongLabelled, &p, &nil());
+        assert_eq!(
+            v,
+            Verdict::Inconclusive(EngineError::StateBudgetExceeded { limit: 8 })
+        );
+        assert!(!v.holds());
+        // The bool API degrades to false rather than panicking.
+        assert!(!c.bisimilar(Variant::StrongLabelled, &p, &nil()));
+        // A Budget ceiling composes with opts by minimum.
+        let c2 = Checker::new(&d).with_budget(Budget::states(4));
+        assert_eq!(
+            c2.check(Variant::WeakLabelled, &p, &nil()),
+            Verdict::Inconclusive(EngineError::StateBudgetExceeded { limit: 4 })
+        );
+        // A pre-raised cancellation flag surfaces as Cancelled.
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let c3 = Checker::new(&d).with_budget(Budget::unlimited().with_cancel_flag(flag));
+        assert_eq!(
+            c3.check(Variant::StrongLabelled, &p, &nil()),
+            Verdict::Inconclusive(EngineError::Cancelled)
+        );
+        // Conclusive answers on small systems are unaffected by a budget.
+        let c4 = Checker::new(&d).with_budget(Budget::states(1000));
+        assert!(c4.check(Variant::StrongLabelled, &nil(), &nil()).holds());
     }
 
     #[test]

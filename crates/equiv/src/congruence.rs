@@ -22,6 +22,7 @@
 use crate::bisim::{refine, Checker, RelView, Variant};
 use crate::graph::{identification_substs, shared_pool, Graph, Opts};
 use bpi_core::syntax::{Defs, P};
+use bpi_semantics::budget::EngineError;
 
 /// One strict transfer step: every move of `(ga, i)` — including inputs —
 /// is matched by a move of `(gb, j)` carrying the **same label**, with
@@ -51,23 +52,38 @@ fn strict_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<'_>) -> b
 
 /// `p ~₊ q` (Definition 11): every strong move of `p` is matched by a
 /// same-label strong move of `q` with residuals strongly bisimilar, and
-/// vice versa.
-pub fn sim_plus(p: &P, q: &P, defs: &Defs, opts: Opts) -> bool {
+/// vice versa. `Err` when the graphs exceed `opts.max_states`.
+pub fn try_sim_plus(p: &P, q: &P, defs: &Defs, opts: Opts) -> Result<bool, EngineError> {
     let c = Checker::with_opts(defs, opts);
-    let (g1, g2, rel) = c.fixpoint(Variant::StrongLabelled, p, q);
-    strict_dir(&g1, 0, &g2, 0, RelView::new(&rel.rel, false))
-        && strict_dir(&g2, 0, &g1, 0, RelView::new(&rel.rel, true))
+    let (g1, g2, rel) = c.try_fixpoint(Variant::StrongLabelled, p, q)?;
+    Ok(strict_dir(&g1, 0, &g2, 0, RelView::new(&rel.rel, false))
+        && strict_dir(&g2, 0, &g1, 0, RelView::new(&rel.rel, true)))
+}
+
+/// Bool convenience for [`try_sim_plus`]; resource exhaustion degrades to
+/// `false` (the relation could not be certified).
+pub fn sim_plus(p: &P, q: &P, defs: &Defs, opts: Opts) -> bool {
+    try_sim_plus(p, q, defs, opts).unwrap_or(false)
 }
 
 /// `p ~c q`: `pσ ~₊ qσ` for all substitutions, decided over the
-/// identification substitutions of `fn(p, q)`.
-pub fn congruent_strong(p: &P, q: &P, defs: &Defs, opts: Opts) -> bool {
+/// identification substitutions of `fn(p, q)`. `Err` when any instance
+/// exhausts the state budget.
+pub fn try_congruent_strong(p: &P, q: &P, defs: &Defs, opts: Opts) -> Result<bool, EngineError> {
     let fns = p.free_names().union(&q.free_names());
-    identification_substs(&fns).into_iter().all(|s| {
+    for s in identification_substs(&fns) {
         let ps = s.apply_process(p);
         let qs = s.apply_process(q);
-        sim_plus(&ps, &qs, defs, opts)
-    })
+        if !try_sim_plus(&ps, &qs, defs, opts)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Bool convenience for [`try_congruent_strong`]; exhaustion → `false`.
+pub fn congruent_strong(p: &P, q: &P, defs: &Defs, opts: Opts) -> bool {
+    try_congruent_strong(p, q, defs, opts).unwrap_or(false)
 }
 
 /// One direction of the weak `≈₊` transfer (Definition 15): strong moves
@@ -114,23 +130,38 @@ fn ga_tau_plus(g: &Graph, j: usize) -> std::collections::BTreeSet<usize> {
 }
 
 /// `p ≈₊ q` (Definition 15): one weak transfer step each way into `≈`.
-pub fn weak_sim_plus(p: &P, q: &P, defs: &Defs, opts: Opts) -> bool {
+/// `Err` when the graphs exceed `opts.max_states`.
+pub fn try_weak_sim_plus(p: &P, q: &P, defs: &Defs, opts: Opts) -> Result<bool, EngineError> {
     let pool = shared_pool(p, q, opts.fresh_inputs);
-    let g1 = Graph::build(p, defs, &pool, opts);
-    let g2 = Graph::build(q, defs, &pool, opts);
+    let g1 = Graph::build(p, defs, &pool, opts)?;
+    let g2 = Graph::build(q, defs, &pool, opts)?;
     let rel = refine(Variant::WeakLabelled, &g1, &g2);
-    weak_plus_dir(&g1, 0, &g2, 0, RelView::new(&rel.rel, false))
-        && weak_plus_dir(&g2, 0, &g1, 0, RelView::new(&rel.rel, true))
+    Ok(weak_plus_dir(&g1, 0, &g2, 0, RelView::new(&rel.rel, false))
+        && weak_plus_dir(&g2, 0, &g1, 0, RelView::new(&rel.rel, true)))
 }
 
-/// `p ≈c q`: `pσ ≈₊ qσ` for all identification substitutions.
-pub fn congruent_weak(p: &P, q: &P, defs: &Defs, opts: Opts) -> bool {
+/// Bool convenience for [`try_weak_sim_plus`]; exhaustion → `false`.
+pub fn weak_sim_plus(p: &P, q: &P, defs: &Defs, opts: Opts) -> bool {
+    try_weak_sim_plus(p, q, defs, opts).unwrap_or(false)
+}
+
+/// `p ≈c q`: `pσ ≈₊ qσ` for all identification substitutions. `Err` when
+/// any instance exhausts the state budget.
+pub fn try_congruent_weak(p: &P, q: &P, defs: &Defs, opts: Opts) -> Result<bool, EngineError> {
     let fns = p.free_names().union(&q.free_names());
-    identification_substs(&fns).into_iter().all(|s| {
+    for s in identification_substs(&fns) {
         let ps = s.apply_process(p);
         let qs = s.apply_process(q);
-        weak_sim_plus(&ps, &qs, defs, opts)
-    })
+        if !try_weak_sim_plus(&ps, &qs, defs, opts)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Bool convenience for [`try_congruent_weak`]; exhaustion → `false`.
+pub fn congruent_weak(p: &P, q: &P, defs: &Defs, opts: Opts) -> bool {
+    try_congruent_weak(p, q, defs, opts).unwrap_or(false)
 }
 
 #[cfg(test)]

@@ -102,16 +102,32 @@ impl fmt::Display for Distinction {
 /// they are in fact bisimilar. Weak variants are currently explained
 /// through their strong counterparts' graphs (the experiment is still
 /// valid evidence, read weakly).
+///
+/// Resource exhaustion while building the graphs also yields `None` (no
+/// distinction could be exhibited); use [`try_explain`] to tell the two
+/// apart.
 pub fn explain(v: Variant, p: &P, q: &P, defs: &Defs, opts: Opts) -> Option<Distinction> {
+    try_explain(v, p, q, defs, opts).unwrap_or(None)
+}
+
+/// [`explain`] with typed exhaustion: `Err` when either graph exceeds
+/// `opts.max_states` before the distinction search can run.
+pub fn try_explain(
+    v: Variant,
+    p: &P,
+    q: &P,
+    defs: &Defs,
+    opts: Opts,
+) -> Result<Option<Distinction>, bpi_semantics::EngineError> {
     let pool = shared_pool(p, q, opts.fresh_inputs);
-    let g1 = Graph::build(p, defs, &pool, opts);
-    let g2 = Graph::build(q, defs, &pool, opts);
+    let g1 = Graph::build(p, defs, &pool, opts)?;
+    let g2 = Graph::build(q, defs, &pool, opts)?;
     let rel = refine(v, &g1, &g2);
     if rel.holds(0, 0) {
-        return None;
+        return Ok(None);
     }
     let mut depth_budget = g1.len() * g2.len() + 2;
-    Some(explain_pair(v, &g1, 0, &g2, 0, &rel.rel, &mut depth_budget))
+    Ok(Some(explain_pair(v, &g1, 0, &g2, 0, &rel.rel, &mut depth_budget)))
 }
 
 fn related(rel: &[Vec<bool>], i: usize, j: usize) -> bool {

@@ -24,15 +24,17 @@ use bpi_core::canon::canon;
 use bpi_core::name::{Name, NameSet};
 use bpi_core::subst::Subst;
 use bpi_core::syntax::{Defs, P};
+use bpi_semantics::budget::{Budget, EngineError};
 use bpi_semantics::lts::{tuples, Lts};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Options for graph construction and bisimulation checking.
 #[derive(Clone, Copy, Debug)]
 pub struct Opts {
-    /// Maximum states per side before the checker panics (the paper's
-    /// theorems are stated for image-finite processes; exceeding this
-    /// budget means the subject is out of scope).
+    /// Maximum states per side before construction gives up with
+    /// [`EngineError::StateBudgetExceeded`] (the paper's theorems are
+    /// stated for image-finite processes; exceeding this budget means
+    /// the subject is out of scope for the checker).
     pub max_states: usize,
     /// Number of fresh input representatives added to the pool.
     pub fresh_inputs: usize,
@@ -137,13 +139,26 @@ pub fn normalize_bound_output(act: Action, cont: P, avoid: &NameSet) -> (Action,
 }
 
 impl Graph {
-    /// Builds the reachable graph of `seed` over `pool`.
-    ///
-    /// # Panics
-    /// Panics if more than `opts.max_states` states are reached.
-    pub fn build(seed: &P, defs: &Defs, pool: &[Name], opts: Opts) -> Graph {
+    /// Builds the reachable graph of `seed` over `pool`. `Err` — never a
+    /// panic — when more than `opts.max_states` states are reached.
+    pub fn build(seed: &P, defs: &Defs, pool: &[Name], opts: Opts) -> Result<Graph, EngineError> {
+        Graph::build_with_budget(seed, defs, pool, opts, &Budget::unlimited())
+    }
+
+    /// [`Graph::build`] under an explicit [`Budget`]: the state ceiling
+    /// is the smaller of `opts.max_states` and the budget's, and the
+    /// budget's deadline/cancellation flag are polled once per expanded
+    /// state.
+    pub fn build_with_budget(
+        seed: &P,
+        defs: &Defs,
+        pool: &[Name],
+        opts: Opts,
+        budget: &Budget,
+    ) -> Result<Graph, EngineError> {
         let lts = Lts::new(defs);
         let pool_set = NameSet::from_iter(pool.iter().copied());
+        let cap = opts.max_states.min(budget.max_states());
         // Flat binary keys: memcmp instead of tree hashing.
         let mut index: HashMap<bytes::Bytes, usize> = HashMap::new();
         let mut states = Vec::new();
@@ -156,6 +171,7 @@ impl Graph {
         let mut work = vec![0usize];
 
         while let Some(i) = work.pop() {
+            budget.check(0)?;
             let src = states[i].clone();
             let src_free = src.free_names();
             // Dynamic pool: global pool plus extruded representatives that
@@ -174,30 +190,33 @@ impl Graph {
                             states: &mut Vec<P>,
                             index: &mut HashMap<bytes::Bytes, usize>,
                             work: &mut Vec<usize>,
-                            out: &mut Vec<(Action, usize)>| {
+                            out: &mut Vec<(Action, usize)>|
+             -> Result<(), EngineError> {
                 let state = canon(&bpi_core::prune(&cont));
                 let key = bpi_core::encode(&state);
-                let j = *index.entry(key).or_insert_with(|| {
-                    assert!(
-                        states.len() < opts.max_states,
-                        "bisimulation graph exceeded {} states; \
-                         subject is not image-finite within budget",
-                        opts.max_states
-                    );
-                    let j = states.len();
-                    states.push(state);
-                    work.push(j);
-                    j
-                });
+                let j = match index.get(&key) {
+                    Some(&j) => j,
+                    None => {
+                        if states.len() >= cap {
+                            return Err(EngineError::StateBudgetExceeded { limit: cap });
+                        }
+                        let j = states.len();
+                        index.insert(key, j);
+                        states.push(state);
+                        work.push(j);
+                        j
+                    }
+                };
                 out.push((act, j));
+                Ok(())
             };
 
             for (act, cont) in lts.step_transitions(&src) {
                 let (act, cont) = normalize_bound_output(act, cont, &avoid);
-                push(act, cont, &mut states, &mut index, &mut work, &mut out);
+                push(act, cont, &mut states, &mut index, &mut work, &mut out)?;
             }
             for (act, cont) in lts.input_transitions(&src, &dyn_pool) {
-                push(act, cont, &mut states, &mut index, &mut work, &mut out);
+                push(act, cont, &mut states, &mut index, &mut work, &mut out)?;
             }
             let mut disc = NameSet::new();
             for &a in &dyn_pool {
@@ -218,12 +237,12 @@ impl Graph {
             edges.push(Vec::new());
             discarding.push(NameSet::new());
         }
-        Graph {
+        Ok(Graph {
             states,
             edges,
             discarding,
             pool: pool.to_vec(),
-        }
+        })
     }
 
     /// Number of states.
@@ -434,7 +453,7 @@ mod tests {
         let p = out_(a, [v]);
         let q = nil();
         let pool = shared_pool(&p, &q, 1);
-        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        let g = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
         assert_eq!(g.len(), 2);
         assert_eq!(g.out_edges(0).count(), 1);
         assert!(g.state_discards(0, a), "output prefixes discard");
@@ -446,7 +465,7 @@ mod tests {
         let [a, x] = names(["a", "x"]);
         let p = inp(a, [x], out_(x, []));
         let pool = shared_pool(&p, &nil(), 1); // {a} + one fresh
-        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        let g = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
         assert_eq!(g.input_edges(0).count(), 2);
         assert!(!g.state_discards(0, a));
     }
@@ -457,12 +476,12 @@ mod tests {
         let [a, x] = names(["a", "x"]);
         let p = new(x, out(a, [x], out_(x, [])));
         let pool = shared_pool(&p, &nil(), 1);
-        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        let g = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
         let (act, _) = g.out_edges(0).next().unwrap();
         assert_eq!(act.bound_names().len(), 1);
         assert_eq!(act.bound_names()[0].spelling(), "#b0");
         // Re-building yields the identical label: determinism.
-        let g2 = Graph::build(&p, &defs, &pool, Opts::default());
+        let g2 = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
         let (act2, _) = g2.out_edges(0).next().unwrap();
         assert_eq!(act, act2);
     }
@@ -476,7 +495,7 @@ mod tests {
         let xid = bpi_core::syntax::Ident::new("GExtr");
         let p = rec(xid, [a], new(t, out(a, [t], var(xid, [a]))), [a]);
         let pool = shared_pool(&p, &nil(), 1);
-        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        let g = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
         assert_eq!(g.len(), 1, "states: {:?}", g.states);
     }
 
@@ -486,7 +505,7 @@ mod tests {
         let [a, b] = names(["a", "b"]);
         let p = sum(tau(out_(a, [])), out_(b, []));
         let pool = shared_pool(&p, &nil(), 0);
-        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        let g = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
         assert_eq!(g.strong_barbs(0).to_vec(), vec![b]);
         assert_eq!(g.weak_barbs(0).to_vec(), vec![a, b]);
         assert_eq!(g.tau_closure(0).len(), 2);
@@ -505,13 +524,46 @@ mod tests {
     }
 
     #[test]
+    fn build_exhaustion_is_typed_not_a_panic() {
+        // GPump(a) = τ.(ā ‖ GPump⟨a⟩) grows without bound; both the
+        // opts ceiling and an explicit Budget must surface as Err.
+        let defs = Defs::new();
+        let [a] = names(["a"]);
+        let xid = bpi_core::syntax::Ident::new("GPump");
+        let p = rec(xid, [a], tau(par(out_(a, []), var(xid, [a]))), [a]);
+        let pool = shared_pool(&p, &nil(), 1);
+        let small = Opts {
+            max_states: 6,
+            fresh_inputs: 1,
+        };
+        assert_eq!(
+            Graph::build(&p, &defs, &pool, small).err(),
+            Some(EngineError::StateBudgetExceeded { limit: 6 })
+        );
+        assert_eq!(
+            Graph::build_with_budget(&p, &defs, &pool, Opts::default(), &Budget::states(3)).err(),
+            Some(EngineError::StateBudgetExceeded { limit: 3 })
+        );
+        // A generous ceiling on a finite system still succeeds.
+        let q = out_(a, []);
+        assert!(Graph::build_with_budget(
+            &q,
+            &defs,
+            &pool,
+            Opts::default(),
+            &Budget::states(100)
+        )
+        .is_ok());
+    }
+
+    #[test]
     fn weak_discard_traverses_taus() {
         let defs = Defs::new();
         let [a, x] = names(["a", "x"]);
         // a(x).nil + τ.nil : can weakly discard a by taking the τ.
         let p = sum(inp_(a, [x]), tau_());
         let pool = shared_pool(&p, &nil(), 1);
-        let g = Graph::build(&p, &defs, &pool, Opts::default());
+        let g = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
         assert!(!g.state_discards(0, a));
         assert!(!g.weak_discard(0, a).is_empty());
     }

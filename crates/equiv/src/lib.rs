@@ -28,12 +28,15 @@ pub mod upto;
 
 pub use bisim::{
     all_variants, strong_barbed_bisimilar, strong_bisimilar, strong_step_bisimilar,
-    weak_barbed_bisimilar, weak_bisimilar, weak_step_bisimilar, Checker, Variant,
+    weak_barbed_bisimilar, weak_bisimilar, weak_step_bisimilar, Checker, Variant, Verdict,
 };
-pub use congruence::{congruent_strong, congruent_weak, sim_plus, weak_sim_plus};
-pub use distinguish::{explain, Distinction, Experiment, Side};
+pub use congruence::{
+    congruent_strong, congruent_weak, sim_plus, try_congruent_strong, try_congruent_weak,
+    try_sim_plus, try_weak_sim_plus, weak_sim_plus,
+};
+pub use distinguish::{explain, try_explain, Distinction, Experiment, Side};
 pub use graph::{identification_substs, shared_pool, Graph, Opts};
-pub use logic::{sat, satisfies, Formula};
+pub use logic::{sat, satisfies, try_satisfies, Formula};
 pub use sensors::{sensor_context, sensors_separate, SensorBarbs};
 pub use testing::{may_equivalent_sampled, may_pass, trace_equivalent, traces, Test};
 pub use upto::{check_bisimulation_upto, UptoVerdict};

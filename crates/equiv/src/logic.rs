@@ -126,7 +126,21 @@ fn successors(g: &Graph, i: usize, act: &Action) -> Vec<usize> {
 
 /// Decides whether a closed process satisfies a formula, building its
 /// graph over the formula's names plus the process's own.
+///
+/// If the graph exceeds `opts.max_states` the answer degrades to `false`
+/// (satisfaction could not be certified); [`try_satisfies`] exposes the
+/// typed error.
 pub fn satisfies(p: &P, f: &Formula, defs: &Defs, opts: Opts) -> bool {
+    try_satisfies(p, f, defs, opts).unwrap_or(false)
+}
+
+/// [`satisfies`] with typed resource exhaustion.
+pub fn try_satisfies(
+    p: &P,
+    f: &Formula,
+    defs: &Defs,
+    opts: Opts,
+) -> Result<bool, bpi_semantics::EngineError> {
     // The pool must cover the names the formula mentions.
     let mut fns = p.free_names();
     collect_formula_names(f, &mut fns);
@@ -140,8 +154,8 @@ pub fn satisfies(p: &P, f: &Formula, defs: &Defs, opts: Opts) -> bool {
         v.extend(fresh);
         v
     };
-    let g = Graph::build(p, defs, &pool, opts);
-    sat(&g, 0, f)
+    let g = Graph::build(p, defs, &pool, opts)?;
+    Ok(sat(&g, 0, f))
 }
 
 fn collect_formula_names(f: &Formula, out: &mut bpi_core::name::NameSet) {

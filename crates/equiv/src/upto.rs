@@ -18,6 +18,7 @@ use crate::bisim::Checker;
 use crate::graph::{shared_pool, Graph, Opts};
 use bpi_core::action::Action;
 use bpi_core::syntax::{Defs, P};
+use bpi_semantics::budget::EngineError;
 
 /// The verdict of an up-to check, with the offending pair and move on
 /// failure.
@@ -32,6 +33,9 @@ pub enum UptoVerdict {
         label: Action,
         left_moved: bool,
     },
+    /// A pair's graph exceeded the state budget before the transfer
+    /// property could be checked.
+    Inconclusive(EngineError),
 }
 
 impl UptoVerdict {
@@ -53,8 +57,14 @@ pub fn check_bisimulation_upto(pairs: &[(P, P)], defs: &Defs, opts: Opts) -> Upt
     for (p, q) in pairs {
         // Build both graphs over the shared pool, inspect one step.
         let pool = shared_pool(p, q, opts.fresh_inputs);
-        let gp = Graph::build(p, defs, &pool, opts);
-        let gq = Graph::build(q, defs, &pool, opts);
+        let gp = match Graph::build(p, defs, &pool, opts) {
+            Ok(g) => g,
+            Err(e) => return UptoVerdict::Inconclusive(e),
+        };
+        let gq = match Graph::build(q, defs, &pool, opts) {
+            Ok(g) => g,
+            Err(e) => return UptoVerdict::Inconclusive(e),
+        };
         for (left_moved, (ga, gb, a_proc, b_proc)) in
             [(true, (&gp, &gq, p, q)), (false, (&gq, &gp, q, p))]
         {
@@ -237,7 +247,7 @@ mod tests {
             UptoVerdict::Fails { label, .. } => {
                 assert_eq!(label.subject(), Some(a));
             }
-            UptoVerdict::Valid => panic!("must reject"),
+            other => panic!("must reject, got {other:?}"),
         }
     }
 

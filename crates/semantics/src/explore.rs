@@ -13,6 +13,7 @@
 //! exploration are provided; the parallel one shards the frontier over
 //! worker threads with a shared visited table.
 
+use crate::budget::{retry_with_backoff, Budget, EngineError};
 use crate::lts::Lts;
 use bpi_core::action::Action;
 use bpi_core::canon::canon;
@@ -50,11 +51,19 @@ pub struct StateGraph {
     pub states: Vec<P>,
     /// `edges[i]` — outgoing `(label, target)` step transitions of state `i`.
     pub edges: Vec<Vec<(Action, usize)>>,
-    /// Whether exploration stopped early at `max_states`.
+    /// Whether exploration stopped before exhausting the state space.
     pub truncated: bool,
+    /// Why exploration stopped early, when it did: the graph is still
+    /// usable (every recorded state and edge is real), just incomplete.
+    pub interrupted: Option<EngineError>,
 }
 
 impl StateGraph {
+    /// A graph covering the full reachable space (no early stop).
+    pub fn is_complete(&self) -> bool {
+        !self.truncated
+    }
+
     /// Number of states.
     pub fn len(&self) -> usize {
         self.states.len()
@@ -221,11 +230,20 @@ pub fn normalize_state(p: &P, protected: &NameSet) -> P {
 /// let defs = Defs::new();
 /// let p = parse_process("a<>.b<> + b<>").unwrap();
 /// let g = explore(&p, &defs, ExploreOpts::default());
-/// assert_eq!(g.len(), 4);
+/// assert_eq!(g.len(), 3); // {a<>.b<> + b<>, b<>, nil}
 /// assert!(!g.truncated);
 /// assert!(g.can_output_on(bpi_core::Name::new("b")));
 /// ```
 pub fn explore(p: &P, defs: &Defs, opts: ExploreOpts) -> StateGraph {
+    explore_budgeted(p, defs, opts, &Budget::unlimited())
+}
+
+/// [`explore`] under an explicit [`Budget`]. The effective state ceiling
+/// is the smaller of `opts.max_states` and the budget's; deadline and
+/// cancellation are polled once per expanded state. Exhaustion never
+/// panics: the partial graph comes back with [`StateGraph::truncated`]
+/// set and the reason in [`StateGraph::interrupted`].
+pub fn explore_budgeted(p: &P, defs: &Defs, opts: ExploreOpts, budget: &Budget) -> StateGraph {
     let lts = Lts::new(defs);
     let protected = p.free_names();
     let norm = |q: &P| {
@@ -235,12 +253,13 @@ pub fn explore(p: &P, defs: &Defs, opts: ExploreOpts) -> StateGraph {
             canon(&bpi_core::prune(q))
         }
     };
+    let cap = opts.max_states.min(budget.max_states());
     // Keys are flat binary encodings of the normalised states: hashing
     // and equality become memcmp instead of tree walks.
     let mut index: HashMap<bytes::Bytes, usize> = HashMap::new();
     let mut states = Vec::new();
     let mut edges: Vec<Vec<(Action, usize)>> = Vec::new();
-    let mut truncated = false;
+    let mut interrupted: Option<EngineError> = None;
 
     let p0 = norm(p);
     index.insert(bpi_core::encode(&p0), 0);
@@ -249,6 +268,10 @@ pub fn explore(p: &P, defs: &Defs, opts: ExploreOpts) -> StateGraph {
     let mut frontier = vec![0usize];
 
     while let Some(i) = frontier.pop() {
+        if let Err(e) = budget.check(states.len().min(cap)) {
+            interrupted = Some(e);
+            break;
+        }
         let src = states[i].clone();
         let mut out = Vec::new();
         for (act, succ) in lts.step_transitions(&src) {
@@ -257,8 +280,9 @@ pub fn explore(p: &P, defs: &Defs, opts: ExploreOpts) -> StateGraph {
             let j = match index.get(&key) {
                 Some(&j) => j,
                 None => {
-                    if states.len() >= opts.max_states {
-                        truncated = true;
+                    if states.len() >= cap {
+                        interrupted
+                            .get_or_insert(EngineError::StateBudgetExceeded { limit: cap });
                         continue;
                     }
                     let j = states.len();
@@ -276,8 +300,32 @@ pub fn explore(p: &P, defs: &Defs, opts: ExploreOpts) -> StateGraph {
     StateGraph {
         states,
         edges,
-        truncated,
+        truncated: interrupted.is_some(),
+        interrupted,
     }
+}
+
+/// Retry-with-larger-budget wrapper around [`explore_budgeted`]: starts
+/// from `opts.max_states`, doubles the state ceiling on each truncated
+/// attempt (up to `attempts` tries), and returns the first *complete*
+/// graph. Deadline/cancellation interruptions abort immediately.
+pub fn explore_adaptive(
+    p: &P,
+    defs: &Defs,
+    opts: ExploreOpts,
+    attempts: usize,
+) -> Result<StateGraph, EngineError> {
+    retry_with_backoff(Budget::states(opts.max_states), attempts, |b| {
+        let opts = ExploreOpts {
+            max_states: b.max_states(),
+            ..opts
+        };
+        let g = explore_budgeted(p, defs, opts, b);
+        match g.interrupted.clone() {
+            None => Ok(g),
+            Some(e) => Err(e),
+        }
+    })
 }
 
 /// Early-exit reachability: is an output with subject `a` reachable from
@@ -285,6 +333,19 @@ pub fn explore(p: &P, defs: &Defs, opts: ExploreOpts) -> StateGraph {
 /// `Some(false)` if the full space was exhausted without one, and `None`
 /// if the state budget ran out first.
 pub fn output_reachable(p: &P, defs: &Defs, a: Name, opts: ExploreOpts) -> Option<bool> {
+    output_reachable_budgeted(p, defs, a, opts, &Budget::unlimited()).ok()
+}
+
+/// [`output_reachable`] with a typed verdict: `Ok(true)`/`Ok(false)` are
+/// definite answers, `Err` carries *why* the search was inconclusive
+/// (state ceiling, deadline, or cancellation).
+pub fn output_reachable_budgeted(
+    p: &P,
+    defs: &Defs,
+    a: Name,
+    opts: ExploreOpts,
+    budget: &Budget,
+) -> Result<bool, EngineError> {
     let lts = Lts::new(defs);
     let protected = p.free_names();
     let norm = |q: &P| {
@@ -294,20 +355,28 @@ pub fn output_reachable(p: &P, defs: &Defs, a: Name, opts: ExploreOpts) -> Optio
             canon(&bpi_core::prune(q))
         }
     };
+    let cap = opts.max_states.min(budget.max_states());
     let mut seen: std::collections::HashSet<bytes::Bytes> = std::collections::HashSet::new();
     let mut work = vec![norm(p)];
     seen.insert(bpi_core::encode(&work[0]));
-    let mut truncated = false;
+    let mut interrupted: Option<EngineError> = None;
     while let Some(q) = work.pop() {
+        if let Err(e) = budget.check(0) {
+            // Deadline/cancellation only here — the state ceiling is
+            // handled below so a positive answer can still surface from
+            // the already-discovered frontier.
+            interrupted = Some(e);
+            break;
+        }
         for (act, succ) in lts.step_transitions(&q) {
             if act.is_output() && act.subject() == Some(a) {
-                return Some(true);
+                return Ok(true);
             }
             let state = norm(&succ);
             let key = bpi_core::encode(&state);
             if !seen.contains(&key) {
-                if seen.len() >= opts.max_states {
-                    truncated = true;
+                if seen.len() >= cap {
+                    interrupted.get_or_insert(EngineError::StateBudgetExceeded { limit: cap });
                     continue;
                 }
                 seen.insert(key);
@@ -315,10 +384,9 @@ pub fn output_reachable(p: &P, defs: &Defs, a: Name, opts: ExploreOpts) -> Optio
             }
         }
     }
-    if truncated {
-        None
-    } else {
-        Some(false)
+    match interrupted {
+        Some(e) => Err(e),
+        None => Ok(false),
     }
 }
 
@@ -326,9 +394,73 @@ pub fn output_reachable(p: &P, defs: &Defs, a: Name, opts: ExploreOpts) -> Optio
 /// sharing a visited table and work queue. Produces the same state set as
 /// [`explore`] (state indices may differ between runs).
 pub fn explore_parallel(p: &P, defs: &Defs, opts: ExploreOpts, threads: usize) -> StateGraph {
+    explore_parallel_budgeted(p, defs, opts, threads, &Budget::unlimited())
+}
+
+/// Shared worker state for the parallel explorer.
+struct ParShared {
+    index: Mutex<HashMap<bytes::Bytes, usize>>,
+    states: Mutex<Vec<P>>,
+    edges: Mutex<Vec<Vec<(Action, usize)>>>,
+    queue: Mutex<Vec<usize>>,
+    active: AtomicUsize,
+    /// Cooperative stop signal: raised on budget exhaustion,
+    /// cancellation, or a worker panic so the remaining workers drain
+    /// promptly instead of finishing the whole frontier.
+    stop: AtomicBool,
+    /// First recorded reason for stopping early.
+    interrupted: Mutex<Option<EngineError>>,
+}
+
+impl ParShared {
+    fn flag_stop(&self, e: EngineError) {
+        self.interrupted.lock().get_or_insert(e);
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Releases a worker's "active" claim even if the worker unwinds while
+/// expanding a state. Without this, a panicking worker would leave
+/// `active` forever non-zero and the surviving workers would spin
+/// waiting for a frontier that never drains.
+struct ActiveGuard<'a> {
+    shared: &'a ParShared,
+    done: bool,
+}
+
+impl<'a> ActiveGuard<'a> {
+    fn finish(mut self) {
+        self.done = true;
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<'a> Drop for ActiveGuard<'a> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.shared.flag_stop(EngineError::WorkerPanicked);
+            self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// [`explore_parallel`] under an explicit [`Budget`], with cooperative
+/// cancellation: every worker polls the budget once per expanded state
+/// and raises a shared stop flag on exhaustion, so all threads wind down
+/// quickly. A panicking worker degrades the same way — its claim is
+/// released, the other workers drain, and the partial graph comes back
+/// `truncated` with [`EngineError::WorkerPanicked`] recorded instead of
+/// the panic propagating.
+pub fn explore_parallel_budgeted(
+    p: &P,
+    defs: &Defs,
+    opts: ExploreOpts,
+    threads: usize,
+    budget: &Budget,
+) -> StateGraph {
     let threads = threads.max(1);
     if threads == 1 {
-        return explore(p, defs, opts);
+        return explore_budgeted(p, defs, opts, budget);
     }
     let protected = p.free_names();
     let norm = |q: &P| {
@@ -338,31 +470,27 @@ pub fn explore_parallel(p: &P, defs: &Defs, opts: ExploreOpts, threads: usize) -
             canon(&bpi_core::prune(q))
         }
     };
-
-    struct Shared {
-        index: Mutex<HashMap<bytes::Bytes, usize>>,
-        states: Mutex<Vec<P>>,
-        edges: Mutex<Vec<Vec<(Action, usize)>>>,
-        queue: Mutex<Vec<usize>>,
-        active: AtomicUsize,
-        truncated: AtomicBool,
-    }
+    let cap = opts.max_states.min(budget.max_states());
 
     let p0 = norm(p);
-    let shared = Shared {
+    let shared = ParShared {
         index: Mutex::new(HashMap::from([(bpi_core::encode(&p0), 0usize)])),
         states: Mutex::new(vec![p0]),
         edges: Mutex::new(vec![Vec::new()]),
         queue: Mutex::new(vec![0usize]),
         active: AtomicUsize::new(0),
-        truncated: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        interrupted: Mutex::new(None),
     };
 
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
                 let lts = Lts::new(defs);
                 loop {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let task = {
                         let mut q = shared.queue.lock();
                         match q.pop() {
@@ -380,6 +508,16 @@ pub fn explore_parallel(p: &P, defs: &Defs, opts: ExploreOpts, threads: usize) -
                         std::thread::yield_now();
                         continue;
                     };
+                    let guard = ActiveGuard {
+                        shared: &shared,
+                        done: false,
+                    };
+                    if let Err(e) = budget.check(0) {
+                        // Deadline/cancellation: stop everyone.
+                        shared.flag_stop(e);
+                        guard.finish();
+                        break;
+                    }
                     let src = shared.states.lock()[i].clone();
                     let mut out = Vec::new();
                     for (act, succ) in lts.step_transitions(&src) {
@@ -391,8 +529,13 @@ pub fn explore_parallel(p: &P, defs: &Defs, opts: ExploreOpts, threads: usize) -
                                 Some(&j) => Some(j),
                                 None => {
                                     let mut states = shared.states.lock();
-                                    if states.len() >= opts.max_states {
-                                        shared.truncated.store(true, Ordering::SeqCst);
+                                    if states.len() >= cap {
+                                        shared
+                                            .interrupted
+                                            .lock()
+                                            .get_or_insert(EngineError::StateBudgetExceeded {
+                                                limit: cap,
+                                            });
                                         None
                                     } else {
                                         let j = states.len();
@@ -410,17 +553,26 @@ pub fn explore_parallel(p: &P, defs: &Defs, opts: ExploreOpts, threads: usize) -
                         }
                     }
                     shared.edges.lock()[i] = out;
-                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                    guard.finish();
                 }
             });
         }
-    })
-    .expect("exploration worker panicked");
+    });
+    if scope_result.is_err() {
+        // A worker died outside the guarded region (or the guard itself
+        // could not record it); make sure the reason is visible.
+        shared
+            .interrupted
+            .lock()
+            .get_or_insert(EngineError::WorkerPanicked);
+    }
 
+    let interrupted = shared.interrupted.into_inner();
     StateGraph {
         states: shared.states.into_inner(),
         edges: shared.edges.into_inner(),
-        truncated: shared.truncated.into_inner(),
+        truncated: interrupted.is_some(),
+        interrupted,
     }
 }
 
@@ -515,5 +667,165 @@ mod tests {
         let [a, b, x] = names(["a", "b", "x"]);
         let p = par(out_(b, [a]), inp(a, [x], out_(x, [b])));
         assert_eq!(free_names_in_order(&p), vec![b, a]);
+    }
+
+    /// An unbounded pump used by the budget/degradation tests.
+    fn grow_pump() -> P {
+        let b = bpi_core::Name::new("b");
+        let xid = bpi_core::syntax::Ident::new("Grow");
+        rec(xid, [b], tau(par(var(xid, [b]), out_(b, []))), [b])
+    }
+
+    #[test]
+    fn truncation_records_typed_reason() {
+        let defs = Defs::new();
+        let g = explore(
+            &grow_pump(),
+            &defs,
+            ExploreOpts {
+                max_states: 16,
+                normalize_extruded: true,
+            },
+        );
+        assert!(g.truncated);
+        assert!(!g.is_complete());
+        assert_eq!(
+            g.interrupted,
+            Some(EngineError::StateBudgetExceeded { limit: 16 })
+        );
+    }
+
+    #[test]
+    fn cancellation_interrupts_sequential_exploration() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let defs = Defs::new();
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = Budget::unlimited().with_cancel_flag(flag);
+        let g = explore_budgeted(&grow_pump(), &defs, ExploreOpts::default(), &budget);
+        assert!(g.truncated);
+        assert_eq!(g.interrupted, Some(EngineError::Cancelled));
+        // Still usable: the initial state is present.
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn cancellation_interrupts_parallel_exploration() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let defs = Defs::new();
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = Budget::unlimited().with_cancel_flag(flag);
+        let g =
+            explore_parallel_budgeted(&grow_pump(), &defs, ExploreOpts::default(), 4, &budget);
+        assert!(g.truncated);
+        assert_eq!(g.interrupted, Some(EngineError::Cancelled));
+    }
+
+    #[test]
+    fn parallel_truncation_records_reason() {
+        let defs = Defs::new();
+        let g = explore_parallel(
+            &grow_pump(),
+            &defs,
+            ExploreOpts {
+                max_states: 16,
+                normalize_extruded: true,
+            },
+            4,
+        );
+        assert!(g.truncated);
+        assert_eq!(
+            g.interrupted,
+            Some(EngineError::StateBudgetExceeded { limit: 16 })
+        );
+        assert!(g.len() <= 16);
+    }
+
+    #[test]
+    fn adaptive_retry_grows_past_truncation() {
+        // The full graph needs 3 states; starting at 1 the adaptive
+        // explorer must double (1 → 2 → 4) and then succeed.
+        let defs = Defs::new();
+        let [a, b] = names(["a", "b"]);
+        let p = out(a, [], out_(b, []));
+        let opts = ExploreOpts {
+            max_states: 1,
+            normalize_extruded: true,
+        };
+        let g = explore_adaptive(&p, &defs, opts, 5).expect("adaptive exploration converges");
+        assert_eq!(g.len(), 3);
+        assert!(g.is_complete());
+        // And a genuinely unbounded system still fails — with the typed
+        // state-budget error, never a panic.
+        let err = explore_adaptive(&grow_pump(), &defs, opts, 3).unwrap_err();
+        assert!(matches!(err, EngineError::StateBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn worker_panic_yields_truncated_graph_not_a_panic() {
+        // Drive the guard machinery the way a dying worker would: one
+        // thread claims a task and unwinds mid-expansion while others
+        // keep polling the queue. The scope must still join, `active`
+        // must return to zero, and the reason must be recorded.
+        let shared = ParShared {
+            index: Mutex::new(HashMap::new()),
+            states: Mutex::new(Vec::new()),
+            edges: Mutex::new(Vec::new()),
+            queue: Mutex::new(vec![0usize]),
+            active: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            interrupted: Mutex::new(None),
+        };
+        let r = crossbeam::scope(|scope| {
+            // The doomed worker.
+            scope.spawn(|_| {
+                let _task = shared.queue.lock().pop().unwrap();
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                let _guard = ActiveGuard {
+                    shared: &shared,
+                    done: false,
+                };
+                panic!("injected worker fault");
+            });
+            // A survivor that spins until the claim is released.
+            scope.spawn(|_| loop {
+                if shared.stop.load(Ordering::SeqCst)
+                    || shared.active.load(Ordering::SeqCst) == 0
+                {
+                    break;
+                }
+                std::thread::yield_now();
+            });
+        });
+        assert!(r.is_err(), "panic payload surfaces through the scope");
+        assert_eq!(shared.active.load(Ordering::SeqCst), 0);
+        assert_eq!(
+            shared.interrupted.into_inner(),
+            Some(EngineError::WorkerPanicked)
+        );
+    }
+
+    #[test]
+    fn output_reachable_budgeted_is_typed() {
+        let defs = Defs::new();
+        let b = bpi_core::Name::new("b");
+        let zzz = bpi_core::Name::new("zzz");
+        let opts = ExploreOpts {
+            max_states: 8,
+            normalize_extruded: true,
+        };
+        // Reachable output found even under a tiny budget.
+        assert_eq!(
+            output_reachable_budgeted(&grow_pump(), &defs, b, opts, &Budget::unlimited()),
+            Ok(true)
+        );
+        // Unreachable output on an unbounded space: typed exhaustion.
+        assert_eq!(
+            output_reachable_budgeted(&grow_pump(), &defs, zzz, opts, &Budget::unlimited()),
+            Err(EngineError::StateBudgetExceeded { limit: 8 })
+        );
+        // The Option API degrades to None, as before.
+        assert_eq!(output_reachable(&grow_pump(), &defs, zzz, opts), None);
     }
 }

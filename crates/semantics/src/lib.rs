@@ -12,18 +12,33 @@
 //! * [`explore`] — reachable state graphs (sequential and
 //!   crossbeam-parallel), quotiented by α-equivalence and extruded-name
 //!   renaming;
-//! * [`sim`] — seeded random execution for large closed systems.
+//! * [`sim`] — seeded random execution for large closed systems;
+//! * [`budget`] — resource envelopes ([`Budget`]) and typed exhaustion
+//!   ([`EngineError`]) shared by every engine, so running out of states,
+//!   time, or patience degrades instead of panicking;
+//! * [`faults`] — a seeded fault-injection runtime (lossy broadcast,
+//!   crash-stop and stop/resume nodes, bounded delivery refusal in the
+//!   sense of axiom (H)) with a replayable [`FaultLog`].
 
 pub mod analysis;
+pub mod budget;
 pub mod discard;
 pub mod explore;
+pub mod faults;
 pub mod lts;
 pub mod sim;
 pub mod weak;
 
 pub use analysis::{analyse, Analysis};
+pub use budget::{retry_with_backoff, Budget, EngineError};
 pub use discard::{discards, input_arities, listening};
-pub use explore::{explore, explore_parallel, normalize_state, output_reachable, ExploreOpts, StateGraph};
+pub use explore::{
+    explore, explore_adaptive, explore_budgeted, explore_parallel, explore_parallel_budgeted,
+    normalize_state, output_reachable, output_reachable_budgeted, ExploreOpts, StateGraph,
+};
+pub use faults::{
+    deafen, lossy_traces, noise, FaultEvent, FaultLog, FaultPlan, FaultySimulator,
+};
 pub use lts::{tuples, Lts};
 pub use sim::{Simulator, Trace};
 pub use weak::Weak;

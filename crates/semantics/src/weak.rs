@@ -9,7 +9,12 @@
 //! * step-moves `p —α̂→ p'` with `α̂` an output or `τ` — the autonomous
 //!   moves of step-bisimilarity (Definition 5), and the step-barbs
 //!   `↓ₐ^φ / ⇓ₐ^φ` defined from them.
+//!
+//! The closure searches are bounded by a [`Budget`]; running out surfaces
+//! as `Err(EngineError)` rather than a panic, so equivalence engines can
+//! answer "inconclusive" instead of aborting.
 
+use crate::budget::{Budget, EngineError};
 use crate::lts::Lts;
 use bpi_core::action::Action;
 use bpi_core::canon::canon;
@@ -22,51 +27,54 @@ use std::collections::HashSet;
 pub const DEFAULT_CLOSURE_BUDGET: usize = 65_536;
 
 /// Weak-transition engine layered over [`Lts`].
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 pub struct Weak<'d> {
     pub lts: Lts<'d>,
-    /// Maximum number of distinct states any closure may visit.
-    pub budget: usize,
+    /// Resource envelope every closure and barb search runs under.
+    pub budget: Budget,
 }
 
 impl<'d> Weak<'d> {
     pub fn new(lts: Lts<'d>) -> Weak<'d> {
         Weak {
             lts,
-            budget: DEFAULT_CLOSURE_BUDGET,
+            budget: Budget::states(DEFAULT_CLOSURE_BUDGET),
         }
     }
 
-    pub fn with_budget(lts: Lts<'d>, budget: usize) -> Weak<'d> {
+    /// Caps the number of distinct states any closure may visit.
+    pub fn with_budget(lts: Lts<'d>, max_states: usize) -> Weak<'d> {
+        Weak {
+            lts,
+            budget: Budget::states(max_states),
+        }
+    }
+
+    /// Full control over states, deadline and cancellation.
+    pub fn with_budget_spec(lts: Lts<'d>, budget: Budget) -> Weak<'d> {
         Weak { lts, budget }
     }
 
     /// `{p' | p ⇒ p'}` — all states reachable by `τ` steps (including `p`
-    /// itself), deduplicated up to α-equivalence.
-    ///
-    /// # Panics
-    /// Panics if more than `budget` distinct states are visited.
-    pub fn tau_closure(&self, p: &P) -> Vec<P> {
+    /// itself), deduplicated up to α-equivalence. `Err` when the budget
+    /// runs out first.
+    pub fn tau_closure(&self, p: &P) -> Result<Vec<P>, EngineError> {
         self.closure(p, |act| matches!(act, Action::Tau))
     }
 
     /// `{p' | p =α̂⇒ p'}` — all states reachable by *step moves*
     /// (`τ` or any output), including `p` itself.
-    pub fn step_closure(&self, p: &P) -> Vec<P> {
+    pub fn step_closure(&self, p: &P) -> Result<Vec<P>, EngineError> {
         self.closure(p, |act| act.is_step_move())
     }
 
-    fn closure(&self, p: &P, keep: impl Fn(&Action) -> bool) -> Vec<P> {
+    fn closure(&self, p: &P, keep: impl Fn(&Action) -> bool) -> Result<Vec<P>, EngineError> {
         let mut seen: HashSet<P> = HashSet::new();
         let mut out = Vec::new();
         let mut work = vec![p.clone()];
         seen.insert(canon(p));
         while let Some(q) = work.pop() {
-            assert!(
-                seen.len() <= self.budget,
-                "weak closure exceeded its budget of {} states",
-                self.budget
-            );
+            self.budget.check(seen.len())?;
             for (act, q2) in self.lts.step_transitions(&q) {
                 if keep(&act) && seen.insert(canon(&q2)) {
                     work.push(q2);
@@ -74,7 +82,7 @@ impl<'d> Weak<'d> {
             }
             out.push(q);
         }
-        out
+        Ok(out)
     }
 
     /// Strong barbs `{a | p ↓a}`: subjects of immediately available
@@ -93,12 +101,12 @@ impl<'d> Weak<'d> {
 
     /// Weak barbs `{a | p ⇓a}`: subjects of outputs reachable through `τ`
     /// steps.
-    pub fn weak_barbs(&self, p: &P) -> NameSet {
+    pub fn weak_barbs(&self, p: &P) -> Result<NameSet, EngineError> {
         let mut s = NameSet::new();
-        for q in self.tau_closure(p) {
+        for q in self.tau_closure(p)? {
             s.extend(&self.strong_barbs(&q));
         }
-        s
+        Ok(s)
     }
 
     /// Strong step-barbs `{a | p ↓ₐ^φ}` — identical to strong barbs (an
@@ -113,24 +121,28 @@ impl<'d> Weak<'d> {
     /// strong barb on `a`. Step moves may traverse *outputs*, not just
     /// `τ`s, which is exactly what distinguishes step- from barbed
     /// observation (Remark 2.3).
-    pub fn weak_step_barbs(&self, p: &P) -> NameSet {
+    pub fn weak_step_barbs(&self, p: &P) -> Result<NameSet, EngineError> {
         let mut s = NameSet::new();
-        for q in self.step_closure(p) {
+        for q in self.step_closure(p)? {
             s.extend(&self.strong_barbs(&q));
         }
-        s
+        Ok(s)
     }
 
     /// Weak τ-moves followed by one transition satisfying `pred`, followed
     /// by τ-moves: `{p' | p ⇒ —α→ ⇒ p', pred(α)}` together with the
     /// labels used.
-    pub fn weak_then(&self, p: &P, pred: impl Fn(&Action) -> bool) -> Vec<(Action, P)> {
+    pub fn weak_then(
+        &self,
+        p: &P,
+        pred: impl Fn(&Action) -> bool,
+    ) -> Result<Vec<(Action, P)>, EngineError> {
         let mut out = Vec::new();
         let mut seen: HashSet<(Action, P)> = HashSet::new();
-        for q in self.tau_closure(p) {
+        for q in self.tau_closure(p)? {
             for (act, q2) in self.lts.step_transitions(&q) {
                 if pred(&act) {
-                    for q3 in self.tau_closure(&q2) {
+                    for q3 in self.tau_closure(&q2)? {
                         if seen.insert((act.clone(), canon(&q3))) {
                             out.push((act.clone(), q3));
                         }
@@ -138,7 +150,7 @@ impl<'d> Weak<'d> {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Whether `a` is a strong barb of `p`.
@@ -146,28 +158,26 @@ impl<'d> Weak<'d> {
         self.strong_barbs(p).contains(a)
     }
 
-    /// Whether `a` is a weak barb of `p`.
-    pub fn has_weak_barb(&self, p: &P, a: Name) -> bool {
+    /// Whether `a` is a weak barb of `p`. `Err` when the search exceeds
+    /// the budget before either finding the barb or exhausting the
+    /// τ-reachable states.
+    pub fn has_weak_barb(&self, p: &P, a: Name) -> Result<bool, EngineError> {
         // Early-exit search rather than materialising the closure.
         let mut seen: HashSet<P> = HashSet::new();
         let mut work = vec![p.clone()];
         seen.insert(canon(p));
         while let Some(q) = work.pop() {
-            assert!(
-                seen.len() <= self.budget,
-                "weak barb search exceeded its budget of {} states",
-                self.budget
-            );
+            self.budget.check(seen.len())?;
             for (act, q2) in self.lts.step_transitions(&q) {
                 if act.is_output() && act.subject() == Some(a) {
-                    return true;
+                    return Ok(true);
                 }
                 if matches!(act, Action::Tau) && seen.insert(canon(&q2)) {
                     work.push(q2);
                 }
             }
         }
-        false
+        Ok(false)
     }
 }
 
@@ -188,7 +198,7 @@ mod tests {
         // τ.τ.ā : closure has 3 states
         let p = tau(tau(out_(a, [])));
         let w = weak(&defs);
-        assert_eq!(w.tau_closure(&p).len(), 3);
+        assert_eq!(w.tau_closure(&p).unwrap().len(), 3);
     }
 
     #[test]
@@ -199,8 +209,8 @@ mod tests {
         let p = sum(tau(out_(a, [])), out_(b, []));
         let w = weak(&defs);
         assert_eq!(w.strong_barbs(&p).to_vec(), vec![b]);
-        assert_eq!(w.weak_barbs(&p).to_vec(), vec![a, b]);
-        assert!(w.has_weak_barb(&p, a));
+        assert_eq!(w.weak_barbs(&p).unwrap().to_vec(), vec![a, b]);
+        assert!(w.has_weak_barb(&p, a).unwrap());
         assert!(!w.has_strong_barb(&p, a));
     }
 
@@ -212,8 +222,8 @@ mod tests {
         // STEP barb {a, b} — the distinction behind Remark 2.3.
         let p = out(b, [], out_(a, []));
         let w = weak(&defs);
-        assert_eq!(w.weak_barbs(&p).to_vec(), vec![b]);
-        assert_eq!(w.weak_step_barbs(&p).to_vec(), vec![a, b]);
+        assert_eq!(w.weak_barbs(&p).unwrap().to_vec(), vec![b]);
+        assert_eq!(w.weak_step_barbs(&p).unwrap().to_vec(), vec![a, b]);
     }
 
     #[test]
@@ -224,7 +234,7 @@ mod tests {
         let p = new(a, par(out_(a, [v]), inp_(a, [x])));
         let w = weak(&defs);
         assert!(w.strong_barbs(&p).is_empty());
-        assert!(w.weak_barbs(&p).is_empty());
+        assert!(w.weak_barbs(&p).unwrap().is_empty());
     }
 
     #[test]
@@ -234,7 +244,49 @@ mod tests {
         // τ.ā.τ.b̄ : weak output on a reaches both τ.b̄ and b̄.
         let p = tau(out(a, [], tau(out_(b, []))));
         let w = weak(&defs);
-        let outs = w.weak_then(&p, |act| act.is_output() && act.subject() == Some(a));
+        let outs = w
+            .weak_then(&p, |act| act.is_output() && act.subject() == Some(a))
+            .unwrap();
         assert_eq!(outs.len(), 2);
+    }
+
+    #[test]
+    fn closure_exhaustion_is_typed_not_a_panic() {
+        // A recursive pump τ-steps through unboundedly many distinct
+        // states; a 4-state budget must surface as an error, not abort.
+        let defs = Defs::new();
+        let [a, b] = names(["a", "b"]);
+        let id = bpi_core::Ident::new("WPump");
+        // WPump(a,b) = τ.(b̄ ‖ WPump<a,b>) — each unfolding grows the term.
+        let p = rec(
+            id,
+            [a, b],
+            tau(par(out_(b, []), var(id, [a, b]))),
+            [a, b],
+        );
+        let w = Weak::with_budget(Lts::new(&defs), 4);
+        assert_eq!(
+            w.tau_closure(&p),
+            Err(EngineError::StateBudgetExceeded { limit: 4 })
+        );
+        assert_eq!(
+            w.has_weak_barb(&p, a),
+            Err(EngineError::StateBudgetExceeded { limit: 4 })
+        );
+        // weak_barbs goes through the same closure: also typed.
+        assert!(w.weak_barbs(&p).is_err());
+    }
+
+    #[test]
+    fn cancellation_stops_closure() {
+        let defs = Defs::new();
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let budget = Budget::unlimited().with_cancel_flag(flag);
+        let w = Weak::with_budget_spec(Lts::new(&defs), budget);
+        let a = bpi_core::Name::new("a");
+        assert_eq!(
+            w.tau_closure(&tau(out_(a, []))),
+            Err(EngineError::Cancelled)
+        );
     }
 }

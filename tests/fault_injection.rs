@@ -1,0 +1,81 @@
+//! Experiment E-faults — the lossy-broadcast encoding theorem and fault
+//! determinism, property-tested over random systems.
+//!
+//! The bπ-calculus axiom (H) says a deaf process may be composed with an
+//! inoffensive ear. Its operational shadow: message loss on channel `a`
+//! is indistinguishable from reliable broadcast once every `a`-listener
+//! is the noise process `!a(x̃).0` — dropping a delivery to noise and
+//! performing it land in the same state. We check that statement
+//! trace-set-exactly on randomly generated systems, plus the two
+//! supporting properties the fault runtime relies on:
+//!
+//! 1. `traces(νloss. p ‖ !a(x̃).0) = traces(p ‖ !a(x̃).0)` — loss on `a`
+//!    is invisible under the noise ear (per-seed, exact set equality).
+//! 2. Reliable traces are a subset of lossy traces — injection only adds
+//!    behaviour, never removes it.
+//! 3. Same fault seed ⇒ identical trace and identical fault log.
+
+use bpi::core::builder::*;
+use bpi::core::syntax::Defs;
+use bpi::equiv::arbitrary::{Gen, GenCfg};
+use bpi::semantics::faults::reliable_traces;
+use bpi::semantics::{deafen, lossy_traces, noise, FaultPlan, FaultySimulator};
+use proptest::prelude::*;
+
+const DEPTH: usize = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Encoding theorem, operational form: once the system is deaf on
+    /// `a` and the only `a`-ear is noise, loss injection on `a` changes
+    /// the trace set not at all.
+    #[test]
+    fn loss_under_noise_ear_is_trace_invisible(seed in 0u64..5_000) {
+        let [a, b, c] = names(["a", "b", "c"]);
+        let cfg = GenCfg::finite_monadic(vec![a, b, c]);
+        let p = Gen::new(cfg, seed).process();
+        let defs = Defs::new();
+        let sys = par(deafen(&p, a), noise(a, 1));
+        prop_assert_eq!(
+            lossy_traces(&sys, &defs, a, DEPTH),
+            reliable_traces(&sys, &defs, DEPTH),
+            "loss on a visible despite the noise ear, seed {}",
+            seed
+        );
+    }
+
+    /// Loss injection is monotone: every reliable trace survives.
+    #[test]
+    fn loss_injection_only_adds_traces(seed in 0u64..5_000) {
+        let [a, b, c] = names(["a", "b", "c"]);
+        let cfg = GenCfg::finite_monadic(vec![a, b, c]);
+        let p = Gen::new(cfg, seed).process();
+        let defs = Defs::new();
+        let reliable = reliable_traces(&p, &defs, DEPTH);
+        let lossy = lossy_traces(&p, &defs, a, DEPTH);
+        prop_assert!(
+            reliable.is_subset(&lossy),
+            "loss removed a reliable trace, seed {}",
+            seed
+        );
+    }
+
+    /// Replayability: a fault plan is a pure function of its seed.
+    #[test]
+    fn same_seed_same_faults(seed in 0u64..5_000) {
+        let (sys_seed, fault_seed) = (seed, seed.wrapping_mul(0x9e37_79b9).rotate_left(17));
+        let [a, b, c] = names(["a", "b", "c"]);
+        let cfg = GenCfg::finite_monadic(vec![a, b, c]);
+        let p = Gen::new(cfg, sys_seed).process();
+        let defs = Defs::new();
+        let plan = FaultPlan::new(fault_seed)
+            .with_channel_loss(a, 0.4)
+            .with_default_loss(0.1)
+            .with_refusals(0.2, 2);
+        let (t1, l1) = FaultySimulator::new(&defs, plan.clone()).run(&p, 40);
+        let (t2, l2) = FaultySimulator::new(&defs, plan).run(&p, 40);
+        prop_assert_eq!(format!("{t1:?}"), format!("{t2:?}"), "traces diverged");
+        prop_assert_eq!(format!("{l1:?}"), format!("{l2:?}"), "fault logs diverged");
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the configuration/grouping API surface the workspace's
+//! benches use, with a deliberately simple measurement loop: each
+//! benchmark is warmed once and then timed for a handful of iterations,
+//! and a single `name  time: median` line is printed. Statistical rigour
+//! is out of scope — the goal is that `cargo bench` runs every bench
+//! end-to-end quickly, exercising the measured code for real.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level driver, analogous to criterion's `Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        let budget = self.measurement_time;
+        run_one(&name.to_string(), samples, budget, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let budget = self.criterion.measurement_time;
+        run_one(&label, samples, budget, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let budget = self.criterion.measurement_time;
+        run_one(&label, samples, budget, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier carrying a function name and/or parameter rendering.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Hands the routine under test to the measurement loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, f: &mut F) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 1 } else { samples };
+
+    // One untimed warm-up iteration, which also calibrates cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    f(&mut b);
+    let once = warm_start.elapsed().max(Duration::from_nanos(1));
+
+    // A single call that blows the whole budget is its own measurement.
+    if once >= budget || quick {
+        println!("{label:<48} time: {once:>12.2?}  (1 sample × 1 iter)");
+        return;
+    }
+
+    // Keep total time near `budget`: spread it over `samples` rounds of
+    // however many iterations one round affords, at least one.
+    let per_round = budget.as_nanos() / (samples.max(1) as u128);
+    let iters = (per_round / once.as_nanos().max(1)).clamp(1, 10_000) as u64;
+
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed / u32::try_from(iters).unwrap_or(1));
+    }
+    per_iter.sort();
+    let median = per_iter[per_iter.len() / 2];
+    println!("{label:<48} time: {median:>12.2?}  ({samples} samples × {iters} iters)");
+}
+
+/// Declares a group of benchmark target functions; both criterion macro
+/// forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),* $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )*
+        }
+    };
+}
+
+/// Entry point: runs every group. CLI arguments (`--bench`, `--quick`,
+/// filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            // Swallow harness arguments such as --bench/--quick/filters.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )*
+        }
+    };
+}

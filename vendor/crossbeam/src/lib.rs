@@ -1,0 +1,90 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`scope`] is provided, built on `std::thread::scope`. Matching
+//! crossbeam's contract, a panicking child thread does not abort the
+//! process: panics are caught inside each spawned closure and the first
+//! payload is surfaced as the `Err` of the scope result, while the
+//! remaining threads run to completion before `scope` returns.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+type Payload = Box<dyn Any + Send + 'static>;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    first_panic: Arc<Mutex<Option<Payload>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure argument mirrors crossbeam's
+    /// nested-scope handle; spawned closures here only ever ignore it.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&()) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        let slot = Arc::clone(&self.first_panic);
+        self.inner.spawn(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&()))) {
+                let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+                if guard.is_none() {
+                    *guard = Some(payload);
+                }
+            }
+        });
+    }
+}
+
+/// Runs `f` with a scope handle; all spawned threads are joined before
+/// returning. Returns `Err` with the first panic payload if any child
+/// panicked, `Ok` with `f`'s result otherwise.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let first_panic: Arc<Mutex<Option<Payload>>> = Arc::new(Mutex::new(None));
+    let result = std::thread::scope(|s| {
+        let handle = Scope {
+            inner: s,
+            first_panic: Arc::clone(&first_panic),
+        };
+        f(&handle)
+    });
+    let payload = first_panic
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    match payload {
+        Some(payload) => Err(payload),
+        None => Ok(result),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_run_and_join() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let r = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+            42
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn child_panic_is_captured() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+            s.spawn(|_| 1 + 1);
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the workspace's usage pattern only: `proptest!` blocks whose
+//! tests each take one argument drawn from an integer range strategy
+//! (`name in 0u64..N` or `..=N`), `prop_assert!` / `prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`. Cases are drawn deterministically from a
+//! generator seeded by the test's location, so failures reproduce across
+//! runs; there is no shrinking. The `PROPTEST_CASES` environment variable
+//! overrides the case count, which CI uses to bound job time.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    /// The name proptest exports via its prelude.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// The effective case count: the `PROPTEST_CASES` environment
+        /// variable wins over the configured value so CI can pin runtime.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property case (what `prop_assert!` produces).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives one `proptest!`-generated test: a deterministic stream of
+    /// inputs derived from the test's source location.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        pub fn new(location_seed: u64) -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(location_seed ^ 0x70_72_6f_70_74_65_73_74),
+            }
+        }
+
+        pub fn sample_u64_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+            self.rng.gen_range(range)
+        }
+
+        pub fn sample_u64_range_incl(&mut self, range: std::ops::RangeInclusive<u64>) -> u64 {
+            self.rng.gen_range(range)
+        }
+    }
+
+    /// Stable tiny hash of a source location, used as the input-stream
+    /// seed so each test gets its own deterministic sequence.
+    pub fn location_seed(file: &str, line: u32, name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain(name.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ u64::from(line)
+    }
+}
+
+pub mod strategy {
+    /// Range strategies: the only strategies this stand-in understands.
+    pub trait U64Strategy {
+        fn draw(&self, runner: &mut crate::test_runner::TestRunner) -> u64;
+    }
+
+    impl U64Strategy for std::ops::Range<u64> {
+        fn draw(&self, runner: &mut crate::test_runner::TestRunner) -> u64 {
+            runner.sample_u64_range(self.clone())
+        }
+    }
+
+    impl U64Strategy for std::ops::RangeInclusive<u64> {
+        fn draw(&self, runner: &mut crate::test_runner::TestRunner) -> u64 {
+            runner.sample_u64_range_incl(self.clone())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each test body runs `cases` times with its
+/// argument drawn from the given range strategy; `prop_assert!` failures
+/// abort the case with the offending input in the panic message.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($arg:ident in $strategy:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = config.resolved_cases();
+                let seed = $crate::test_runner::location_seed(
+                    file!(),
+                    line!(),
+                    stringify!($name),
+                );
+                let mut runner = $crate::test_runner::TestRunner::new(seed);
+                for _case in 0..cases {
+                    let $arg = $crate::strategy::U64Strategy::draw(&$strategy, &mut runner);
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property failed for {} = {}: {}",
+                            stringify!($arg), $arg, e.message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+}

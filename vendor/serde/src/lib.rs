@@ -1,0 +1,295 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Carries the trait skeleton this workspace's hand-written impls compile
+//! against: `ser::{Serialize, Serializer, Impossible}` with the seven
+//! compound-serializer associated types, and `de::{Deserialize,
+//! Deserializer, Visitor, Error}` plus `de::value::StrDeserializer`. There
+//! is no derive macro and no data-format machinery — the workspace
+//! serializes everything through strings (`collect_str` / `visit_str`).
+
+pub mod ser {
+    use std::fmt::Display;
+    use std::marker::PhantomData;
+
+    pub trait Serialize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error;
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T)
+            -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+        fn serialize_tuple_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+        fn collect_str<T: Display + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+            self.serialize_str(&value.to_string())
+        }
+    }
+
+    pub trait SerializeSeq {
+        type Ok;
+        type Error;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeTuple {
+        type Ok;
+        type Error;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeTupleStruct {
+        type Ok;
+        type Error;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeTupleVariant {
+        type Ok;
+        type Error;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeMap {
+        type Ok;
+        type Error;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeStruct {
+        type Ok;
+        type Error;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeStructVariant {
+        type Ok;
+        type Error;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Uninhabited placeholder for compound serializers a format cannot
+    /// produce.
+    pub struct Impossible<Ok, Error> {
+        never: std::convert::Infallible,
+        _marker: PhantomData<(Ok, Error)>,
+    }
+
+    macro_rules! impossible_impls {
+        ($($trait_:ident)*) => {$(
+            impl<Ok, Error> $trait_ for Impossible<Ok, Error> {
+                type Ok = Ok;
+                type Error = Error;
+                fn end(self) -> Result<Ok, Error> {
+                    match self.never {}
+                }
+            }
+        )*};
+    }
+
+    impossible_impls!(
+        SerializeSeq SerializeTuple SerializeTupleStruct SerializeTupleVariant
+        SerializeMap SerializeStruct SerializeStructVariant
+    );
+
+    // Serialize for common std types, via the string data model where
+    // a natural text form exists.
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+}
+
+pub mod de {
+    use std::fmt;
+
+    pub trait Error: Sized {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    pub trait Visitor<'de>: Sized {
+        type Value;
+
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+            struct Expected<'a, V>(&'a V);
+            impl<'de, V: Visitor<'de>> fmt::Display for Expected<'_, V> {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    self.0.expecting(f)
+                }
+            }
+            Err(E::custom(format!(
+                "invalid value {v:?}, expected {}",
+                Expected(&self)
+            )))
+        }
+    }
+
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+
+        fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+        fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+            self.deserialize_str(visitor)
+        }
+    }
+
+    pub trait Deserialize<'de>: Sized {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    pub trait IntoDeserializer<'de, E: Error = value::Error> {
+        type Deserializer: Deserializer<'de, Error = E>;
+        fn into_deserializer(self) -> Self::Deserializer;
+    }
+
+    pub mod value {
+        use super::{Deserializer, Error as DeError, IntoDeserializer, Visitor};
+        use std::fmt;
+        use std::marker::PhantomData;
+
+        /// A plain string-carrying error.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct Error {
+            msg: String,
+        }
+
+        impl DeError for Error {
+            fn custom<T: fmt::Display>(msg: T) -> Self {
+                Error {
+                    msg: msg.to_string(),
+                }
+            }
+        }
+
+        impl fmt::Display for Error {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.msg)
+            }
+        }
+
+        impl std::error::Error for Error {}
+
+        /// Deserializer over a borrowed string slice.
+        #[derive(Clone, Copy, Debug)]
+        pub struct StrDeserializer<'de, E> {
+            input: &'de str,
+            _marker: PhantomData<E>,
+        }
+
+        impl<'de, E> StrDeserializer<'de, E> {
+            pub fn new(input: &'de str) -> Self {
+                StrDeserializer {
+                    input,
+                    _marker: PhantomData,
+                }
+            }
+        }
+
+        impl<'de, E: DeError> Deserializer<'de> for StrDeserializer<'de, E> {
+            type Error = E;
+
+            fn deserialize_str<V: Visitor<'de>>(
+                self,
+                visitor: V,
+            ) -> Result<V::Value, Self::Error> {
+                visitor.visit_str(self.input)
+            }
+        }
+
+        impl<'de, E: DeError> IntoDeserializer<'de, E> for &'de str {
+            type Deserializer = StrDeserializer<'de, E>;
+            fn into_deserializer(self) -> Self::Deserializer {
+                StrDeserializer::new(self)
+            }
+        }
+    }
+}
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
