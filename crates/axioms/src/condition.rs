@@ -173,9 +173,7 @@ impl Partition {
 
     /// Whether two names are in the same block.
     pub fn same_block(&self, x: Name, y: Name) -> bool {
-        self.blocks
-            .iter()
-            .any(|b| b.contains(&x) && b.contains(&y))
+        self.blocks.iter().any(|b| b.contains(&x) && b.contains(&y))
     }
 
     /// The complete condition asserting exactly this partition: equality

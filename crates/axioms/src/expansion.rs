@@ -147,125 +147,125 @@ pub fn expand_symbolic(p: &P, q: &P) -> Option<P> {
     let qs = symbolic_summands(q)?;
     let mut terms: Vec<P> = Vec::new();
 
-    let mut emit_side = |ms: &[SymSummand], os: &[SymSummand], m_whole: &P, o_whole: &P, left: bool| {
-        let assemble = |a: P, b: P| if left { par(a, b) } else { par(b, a) };
-        for s in ms {
-            match &s.prefix {
-                SymPrefix::Tau => {
-                    // Eighth/ninth families: τ interleaves past the whole
-                    // partner.
-                    terms.push(summand_term(
-                        &s.cond,
-                        &SymPrefix::Tau,
-                        assemble(s.cont.clone(), o_whole.clone()),
-                    ));
-                }
-                SymPrefix::Input(a, xs) => {
-                    let fresh = fresh_names("e", xs.len());
-                    let cont_f = Subst::parallel(xs, &fresh).apply_process(&s.cont);
-                    // First family: joint reception (emitted from the
-                    // left side only, to avoid the symmetric duplicate).
-                    if left {
+    let mut emit_side =
+        |ms: &[SymSummand], os: &[SymSummand], m_whole: &P, o_whole: &P, left: bool| {
+            let assemble = |a: P, b: P| if left { par(a, b) } else { par(b, a) };
+            for s in ms {
+                match &s.prefix {
+                    SymPrefix::Tau => {
+                        // Eighth/ninth families: τ interleaves past the whole
+                        // partner.
+                        terms.push(summand_term(
+                            &s.cond,
+                            &SymPrefix::Tau,
+                            assemble(s.cont.clone(), o_whole.clone()),
+                        ));
+                    }
+                    SymPrefix::Input(a, xs) => {
+                        let fresh = fresh_names("e", xs.len());
+                        let cont_f = Subst::parallel(xs, &fresh).apply_process(&s.cont);
+                        // First family: joint reception (emitted from the
+                        // left side only, to avoid the symmetric duplicate).
+                        if left {
+                            for t in os {
+                                if let SymPrefix::Input(b, ys) = &t.prefix {
+                                    if ys.len() == xs.len() {
+                                        let cond = s
+                                            .cond
+                                            .clone()
+                                            .and(t.cond.clone())
+                                            .and(Condition::Eq(*a, *b));
+                                        let cont2 =
+                                            Subst::parallel(ys, &fresh).apply_process(&t.cont);
+                                        terms.push(summand_term(
+                                            &cond,
+                                            &SymPrefix::Input(*a, fresh.clone()),
+                                            assemble(cont_f.clone(), cont2),
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        // Sixth/seventh families: input passing a discarding
+                        // partner.
+                        let cond = s.cond.clone().and(discards_cond(*a, os));
+                        terms.push(summand_term(
+                            &cond,
+                            &SymPrefix::Input(*a, fresh.clone()),
+                            assemble(cont_f, o_whole.clone()),
+                        ));
+                    }
+                    SymPrefix::Output(a, ys) => {
+                        // Second/third families: the partner receives.
                         for t in os {
-                            if let SymPrefix::Input(b, ys) = &t.prefix {
-                                if ys.len() == xs.len() {
+                            if let SymPrefix::Input(b, xs) = &t.prefix {
+                                if xs.len() == ys.len() {
                                     let cond = s
                                         .cond
                                         .clone()
                                         .and(t.cond.clone())
                                         .and(Condition::Eq(*a, *b));
-                                    let cont2 =
-                                        Subst::parallel(ys, &fresh).apply_process(&t.cont);
+                                    let received = Subst::parallel(xs, ys).apply_process(&t.cont);
                                     terms.push(summand_term(
                                         &cond,
-                                        &SymPrefix::Input(*a, fresh.clone()),
-                                        assemble(cont_f.clone(), cont2),
+                                        &s.prefix,
+                                        assemble(s.cont.clone(), received),
                                     ));
                                 }
                             }
                         }
+                        // Fourth/fifth families: the partner discards.
+                        let cond = s.cond.clone().and(discards_cond(*a, os));
+                        terms.push(summand_term(
+                            &cond,
+                            &s.prefix,
+                            assemble(s.cont.clone(), o_whole.clone()),
+                        ));
                     }
-                    // Sixth/seventh families: input passing a discarding
-                    // partner.
-                    let cond = s.cond.clone().and(discards_cond(*a, os));
-                    terms.push(summand_term(
-                        &cond,
-                        &SymPrefix::Input(*a, fresh.clone()),
-                        assemble(cont_f, o_whole.clone()),
-                    ));
-                }
-                SymPrefix::Output(a, ys) => {
-                    // Second/third families: the partner receives.
-                    for t in os {
-                        if let SymPrefix::Input(b, xs) = &t.prefix {
-                            if xs.len() == ys.len() {
-                                let cond = s
-                                    .cond
-                                    .clone()
-                                    .and(t.cond.clone())
-                                    .and(Condition::Eq(*a, *b));
-                                let received =
-                                    Subst::parallel(xs, ys).apply_process(&t.cont);
-                                terms.push(summand_term(
-                                    &cond,
-                                    &s.prefix,
-                                    assemble(s.cont.clone(), received),
-                                ));
+                    SymPrefix::BoundOutput {
+                        chan,
+                        objects,
+                        bound,
+                    } => {
+                        // α-rename the extruded names away from the partner.
+                        let fresh = fresh_names("e", bound.len());
+                        let ren = Subst::parallel(bound, &fresh);
+                        let objects2: Vec<Name> = objects.iter().map(|&o| ren.apply(o)).collect();
+                        let cont2 = ren.apply_process(&s.cont);
+                        let prefix2 = SymPrefix::BoundOutput {
+                            chan: *chan,
+                            objects: objects2.clone(),
+                            bound: fresh,
+                        };
+                        for t in os {
+                            if let SymPrefix::Input(b, xs) = &t.prefix {
+                                if xs.len() == objects2.len() {
+                                    let cond = s
+                                        .cond
+                                        .clone()
+                                        .and(t.cond.clone())
+                                        .and(Condition::Eq(*chan, *b));
+                                    let received =
+                                        Subst::parallel(xs, &objects2).apply_process(&t.cont);
+                                    terms.push(summand_term(
+                                        &cond,
+                                        &prefix2,
+                                        assemble(cont2.clone(), received),
+                                    ));
+                                }
                             }
                         }
+                        let cond = s.cond.clone().and(discards_cond(*chan, os));
+                        terms.push(summand_term(
+                            &cond,
+                            &prefix2,
+                            assemble(cont2.clone(), o_whole.clone()),
+                        ));
                     }
-                    // Fourth/fifth families: the partner discards.
-                    let cond = s.cond.clone().and(discards_cond(*a, os));
-                    terms.push(summand_term(
-                        &cond,
-                        &s.prefix,
-                        assemble(s.cont.clone(), o_whole.clone()),
-                    ));
-                }
-                SymPrefix::BoundOutput {
-                    chan,
-                    objects,
-                    bound,
-                } => {
-                    // α-rename the extruded names away from the partner.
-                    let fresh = fresh_names("e", bound.len());
-                    let ren = Subst::parallel(bound, &fresh);
-                    let objects2: Vec<Name> = objects.iter().map(|&o| ren.apply(o)).collect();
-                    let cont2 = ren.apply_process(&s.cont);
-                    let prefix2 = SymPrefix::BoundOutput {
-                        chan: *chan,
-                        objects: objects2.clone(),
-                        bound: fresh,
-                    };
-                    for t in os {
-                        if let SymPrefix::Input(b, xs) = &t.prefix {
-                            if xs.len() == objects2.len() {
-                                let cond = s
-                                    .cond
-                                    .clone()
-                                    .and(t.cond.clone())
-                                    .and(Condition::Eq(*chan, *b));
-                                let received =
-                                    Subst::parallel(xs, &objects2).apply_process(&t.cont);
-                                terms.push(summand_term(
-                                    &cond,
-                                    &prefix2,
-                                    assemble(cont2.clone(), received),
-                                ));
-                            }
-                        }
-                    }
-                    let cond = s.cond.clone().and(discards_cond(*chan, os));
-                    terms.push(summand_term(
-                        &cond,
-                        &prefix2,
-                        assemble(cont2.clone(), o_whole.clone()),
-                    ));
                 }
             }
-        }
-        let _ = m_whole;
-    };
+            let _ = m_whole;
+        };
 
     emit_side(&ps, &qs, p, q, true);
     emit_side(&qs, &ps, q, p, false);
@@ -281,10 +281,7 @@ mod tests {
     #[test]
     fn summand_extraction() {
         let [a, b, x, y] = names(["a", "b", "x", "y"]);
-        let p = sum(
-            mat(x, y, out(a, [b], nil()), inp_(b, [x])),
-            tau(nil()),
-        );
+        let p = sum(mat(x, y, out(a, [b], nil()), inp_(b, [x])), tau(nil()));
         let ss = symbolic_summands(&p).unwrap();
         assert_eq!(ss.len(), 3);
         assert_eq!(ss[0].cond, Condition::Eq(x, y));

@@ -194,7 +194,8 @@ fn push_restriction(x: Name, h: Head, cont: P) -> Option<(Head, P)> {
 /// Whether a head list is listening on `a` (has an input head with that
 /// subject) — the syntactic counterpart of `¬(p —a:→)`.
 fn listens(hs: &[(Head, P)], a: Name) -> bool {
-    hs.iter().any(|(h, _)| h.is_input() && h.subject() == Some(a))
+    hs.iter()
+        .any(|(h, _)| h.is_input() && h.subject() == Some(a))
 }
 
 /// Table 8: heads of `l ‖ r` from the heads of `l` and `r`, with
@@ -217,7 +218,8 @@ fn dedup_heads(hs: Vec<(Head, P)>) -> Vec<(Head, P)> {
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     for (h, c) in hs {
-        let key = bpi_core::canon::canon(&reconstruct(std::slice::from_ref(&(h.clone(), c.clone()))));
+        let key =
+            bpi_core::canon::canon(&reconstruct(std::slice::from_ref(&(h.clone(), c.clone()))));
         if seen.insert(key) {
             out.push((h, c));
         }
@@ -299,7 +301,7 @@ fn one_side(
             } => {
                 // α-rename the extruded names away from the other side
                 // (the bn(α) ∩ fn(p₂) = ∅ side condition of rule (13)).
-                let fresh: Vec<Name> = bound.iter().map(|b| fresh_name(&b.spelling())).collect();
+                let fresh: Vec<Name> = bound.iter().map(|b| fresh_name(b.spelling())).collect();
                 let ren = Subst::parallel(bound, &fresh);
                 let objects2: Vec<Name> = objects.iter().map(|&o2| ren.apply(o2)).collect();
                 let cont2 = ren.apply_process(cont);
@@ -343,20 +345,22 @@ fn fresh_binders(xs: &[Name]) -> Vec<Name> {
 /// the expansion law and the restriction axioms.
 pub fn reconstruct(hs: &[(Head, P)]) -> P {
     use bpi_core::builder::{inp, new, out, sum_of, tau};
-    sum_of(hs.iter().map(|(h, c)| match h {
-        Head::Tau => tau(c.clone()),
-        Head::Input(a, xs) => inp(*a, xs.clone(), c.clone()),
-        Head::Output(a, ys) => out(*a, ys.clone(), c.clone()),
-        Head::BoundOutput {
-            chan,
-            objects,
-            bound,
-        } => bound
-            .iter()
-            .rev()
-            .fold(out(*chan, objects.clone(), c.clone()), |acc, b| {
-                new(*b, acc)
-            }),
+    sum_of(hs.iter().map(|(h, c)| {
+        match h {
+            Head::Tau => tau(c.clone()),
+            Head::Input(a, xs) => inp(*a, xs.clone(), c.clone()),
+            Head::Output(a, ys) => out(*a, ys.clone(), c.clone()),
+            Head::BoundOutput {
+                chan,
+                objects,
+                bound,
+            } => bound
+                .iter()
+                .rev()
+                .fold(out(*chan, objects.clone(), c.clone()), |acc, b| {
+                    new(*b, acc)
+                }),
+        }
     }))
 }
 

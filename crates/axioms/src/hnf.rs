@@ -37,7 +37,11 @@ impl Hnf {
 
     /// Maximum prefix depth across groups.
     pub fn depth(&self) -> usize {
-        self.groups.iter().map(|(_, b)| b.depth()).max().unwrap_or(0)
+        self.groups
+            .iter()
+            .map(|(_, b)| b.depth())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -82,10 +86,7 @@ mod tests {
         for p in samples {
             let v = p.free_names();
             let h = hnf(&p, &v).to_process();
-            assert!(
-                Prover::new().congruent(&p, &h),
-                "hnf broke {p}  ↦  {h}"
-            );
+            assert!(Prover::new().congruent(&p, &h), "hnf broke {p}  ↦  {h}");
         }
     }
 

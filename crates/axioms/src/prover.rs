@@ -238,7 +238,9 @@ impl Prover {
                     }
                     if m {
                         self.log(|| {
-                            format!("(A) bound output on {chan} matched up to α of the extruded names")
+                            format!(
+                                "(A) bound output on {chan} matched up to α of the extruded names"
+                            )
                         });
                     }
                     m
@@ -273,7 +275,11 @@ impl Prover {
                             self.log(|| {
                                 format!(
                                     "(SP) input on {a} matched for values ⟨{}⟩",
-                                    tuple.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
+                                    tuple
+                                        .iter()
+                                        .map(|n| n.to_string())
+                                        .collect::<Vec<_>>()
+                                        .join(",")
                                 )
                             });
                             continue;
@@ -354,7 +360,10 @@ mod tests {
         assert!(prove(&sum(p.clone(), p.clone()), &p));
         // S3: commutativity
         let q = tau_();
-        assert!(prove(&sum(p.clone(), q.clone()), &sum(q.clone(), p.clone())));
+        assert!(prove(
+            &sum(p.clone(), q.clone()),
+            &sum(q.clone(), p.clone())
+        ));
         // S4: associativity
         let r = out_(b, []);
         assert!(prove(
@@ -412,10 +421,7 @@ mod tests {
         let p = out_(x, []);
         let q = out_(y, [x]);
         let lhs = sum(inp(a, [x], p.clone()), inp(a, [x], q.clone()));
-        let rhs = sum(
-            lhs.clone(),
-            inp(a, [x], mat(x, y, p.clone(), q.clone())),
-        );
+        let rhs = sum(lhs.clone(), inp(a, [x], mat(x, y, p.clone(), q.clone())));
         assert!(prove(&lhs, &rhs));
     }
 
@@ -493,8 +499,7 @@ mod tests {
         assert_eq!(roomy.try_congruent(&sys, &expanded), Ok(true));
         // A pre-raised cancellation flag aborts immediately.
         let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
-        let mut cancelled =
-            Prover::new().with_budget(Budget::unlimited().with_cancel_flag(flag));
+        let mut cancelled = Prover::new().with_budget(Budget::unlimited().with_cancel_flag(flag));
         assert_eq!(
             cancelled.try_congruent(&sys, &expanded),
             Err(EngineError::Cancelled)
@@ -530,7 +535,10 @@ mod trace_tests {
         let text = log.join("\n");
         assert!(text.contains("(C3/C5)"), "missing condition layer:\n{text}");
         assert!(text.contains("(H)"), "missing noisy step:\n{text}");
-        assert!(text.contains("output summand on a"), "missing output step:\n{text}");
+        assert!(
+            text.contains("output summand on a"),
+            "missing output step:\n{text}"
+        );
     }
 
     #[test]
@@ -548,7 +556,11 @@ mod trace_tests {
         let [a, b, c] = names(["a", "b", "c"]);
         let w = Name::intern_raw("tw");
         let blocks = Blocks {
-            ps: vec![out(a, [b], nil()), inp(b, [w], out_(w, [])), tau(out_(c, []))],
+            ps: vec![
+                out(a, [b], nil()),
+                inp(b, [w], out_(w, [])),
+                tau(out_(c, [])),
+            ],
             ns: vec![a, b, c],
         };
         for ax in ALL_AXIOMS {

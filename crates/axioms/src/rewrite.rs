@@ -103,10 +103,7 @@ impl Axiom {
             Axiom::S1 => (sum(p.clone(), nil()), p),
             Axiom::S2 => (sum(p.clone(), p.clone()), p),
             Axiom::S3 => (sum(p.clone(), q.clone()), sum(q, p)),
-            Axiom::S4 => (
-                sum(sum(p.clone(), q.clone()), r.clone()),
-                sum(p, sum(q, r)),
-            ),
+            Axiom::S4 => (sum(sum(p.clone(), q.clone()), r.clone()), sum(p, sum(q, r))),
             Axiom::C5 => (mat(x, y, p.clone(), p.clone()), p),
             Axiom::Sc1 => (
                 mat(x, y, sum(p.clone(), q.clone()), sum(r.clone(), nil())),
@@ -159,19 +156,13 @@ impl Axiom {
                 (lhs, rhs)
             }
             Axiom::R1 => (new(x, new(y, p.clone())), new(y, new(x, p))),
-            Axiom::R2 => (
-                new(x, sum(p.clone(), q.clone())),
-                sum(new(x, p), new(x, q)),
-            ),
+            Axiom::R2 => (new(x, sum(p.clone(), q.clone())), sum(new(x, p), new(x, q))),
             Axiom::R3 => {
                 // α = ȳz with x ∉ {y, z}: requires distinct names.
                 if x == y || x == z {
                     return None;
                 }
-                (
-                    new(x, out(y, [z], p.clone())),
-                    out(y, [z], new(x, p)),
-                )
+                (new(x, out(y, [z], p.clone())), out(y, [z], new(x, p)))
             }
             Axiom::Rp2 => (new(x, out(x, [y], p.clone())), tau(new(x, p))),
             Axiom::Rp3 => {
@@ -291,10 +282,7 @@ mod tests {
     fn normalize_deep_produces_sequential_terms() {
         let [a, b] = names(["a", "b"]);
         let x = Name::new("w");
-        let p = par(
-            new(x, out(a, [x], out_(x, []))),
-            inp(a, [x], out_(x, [b])),
-        );
+        let p = par(new(x, out(a, [x], out_(x, []))), inp(a, [x], out_(x, [b])));
         let n = normalize_deep(&p);
         assert!(is_sequentialised(&n), "not sequential: {n}");
         assert!(Prover::new().congruent(&p, &n), "normalisation unsound");

@@ -7,7 +7,7 @@
 
 use bpi_core::builder::*;
 use bpi_core::syntax::{Defs, P};
-use bpi_equiv::{Checker, Variant};
+use bpi_equiv::{refine, refine_worklist, shared_pool, Checker, Graph, Opts, Variant};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A positive pair of size ~n: nested sums of output chains, one side
@@ -79,10 +79,51 @@ fn bench_negative_instances(c: &mut Criterion) {
     let mut group = c.benchmark_group("bisim/negatives");
     for (name, p, q) in pairs {
         group.bench_function(name, |bch| {
-            bch.iter(|| {
-                assert!(!checker.strong(std::hint::black_box(&p), std::hint::black_box(&q)))
-            })
+            bch.iter(
+                || assert!(!checker.strong(std::hint::black_box(&p), std::hint::black_box(&q))),
+            )
         });
+    }
+    group.finish();
+}
+
+fn bench_worklist_vs_naive(c: &mut Criterion) {
+    // B9 — the PR 2 engine comparison, on prebuilt graphs so only the
+    // refinement loop is measured: the naive global-sweep fixpoint
+    // (kept as the test oracle) against the predecessor-indexed
+    // worklist. Positive instances are the worst case — the full pair
+    // table survives to the greatest fixpoint.
+    let defs = Defs::new();
+    let opts = Opts::default();
+    let mut group = c.benchmark_group("bisim/worklist-vs-naive");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let (p, q) = scaled_pair(n);
+        let pool = shared_pool(&p, &q, opts.fresh_inputs);
+        let g1 = Graph::build(&p, &defs, &pool, opts).unwrap();
+        let g2 = Graph::build(&q, &defs, &pool, opts).unwrap();
+        for v in [Variant::StrongLabelled, Variant::WeakLabelled] {
+            group.bench_with_input(BenchmarkId::new(format!("naive-{v:?}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let r = refine(v, std::hint::black_box(&g1), std::hint::black_box(&g2));
+                    assert!(r.holds(0, 0));
+                })
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("worklist-{v:?}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let r = refine_worklist(
+                            v,
+                            std::hint::black_box(&g1),
+                            std::hint::black_box(&g2),
+                        );
+                        assert!(r.holds(0, 0));
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -112,12 +153,13 @@ fn bench_congruence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = bpi_bench::criterion();
     targets = bench_variants,
     bench_scaling,
     bench_negative_instances,
+    bench_worklist_vs_naive,
     bench_congruence
 
 }

@@ -95,7 +95,7 @@ fn bench_full_delivery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = bpi_bench::criterion();
     targets = bench_first_step_cost, bench_full_delivery

@@ -7,13 +7,9 @@
 //! with the interleaving, not with the data.
 
 use bpi_core::syntax::Defs;
-use bpi_encodings::cycle::{
-    detect_by_exploration, edge_managers_system, has_cycle_dfs, Graph,
-};
+use bpi_encodings::cycle::{detect_by_exploration, edge_managers_system, has_cycle_dfs, Graph};
 use bpi_encodings::ram::{interpret, program_add, run_ram};
-use bpi_encodings::transactions::{
-    detection_system, is_inconsistent_baseline, random_history,
-};
+use bpi_encodings::transactions::{detection_system, is_inconsistent_baseline, random_history};
 use bpi_semantics::Simulator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -22,7 +18,10 @@ fn bench_cycle_detection(c: &mut Criterion) {
     group.sample_size(10);
     let cases = [
         ("chain3", Graph::new(&[("a", "b"), ("b", "c")])),
-        ("triangle", Graph::new(&[("a", "b"), ("b", "c"), ("c", "a")])),
+        (
+            "triangle",
+            Graph::new(&[("a", "b"), ("b", "c"), ("c", "a")]),
+        ),
         (
             "diamond",
             Graph::new(&[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]),
@@ -60,13 +59,17 @@ fn bench_transactions(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("baseline", n_tx), &h, |b, h| {
             b.iter(|| is_inconsistent_baseline(std::hint::black_box(h)))
         });
-        group.bench_with_input(BenchmarkId::new("distributed-200-steps", n_tx), &h, |b, h| {
-            b.iter(|| {
-                let (sys, defs, _err) = detection_system(std::hint::black_box(h));
-                let mut sim = Simulator::new(&defs, 5);
-                sim.run(&sys, 200).actions.len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("distributed-200-steps", n_tx),
+            &h,
+            |b, h| {
+                b.iter(|| {
+                    let (sys, defs, _err) = detection_system(std::hint::black_box(h));
+                    let mut sim = Simulator::new(&defs, 5);
+                    sim.run(&sys, 200).actions.len()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -85,7 +88,7 @@ fn bench_ram(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = bpi_bench::criterion();
     targets = bench_cycle_detection,

@@ -74,9 +74,38 @@ fn bench_normalisation_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+fn bench_consed_warm_exploration(c: &mut Criterion) {
+    // B8 — the PR 2 cache story. The explorer keys its visited table by
+    // consed identity and memoizes successor derivation per (consed
+    // term, defs generation); re-exploring a system whose states are
+    // already consed and whose transitions are already derived measures
+    // the steady-state (warm) cost the seed paid on every run. The
+    // first iteration of each Criterion sample warms the global caches;
+    // all subsequent iterations are pure cache traffic, so the reported
+    // median is the warm figure to set against `explore/independent-3^N`
+    // cold numbers from the seed baseline.
+    let defs = Defs::new();
+    let opts = ExploreOpts::default();
+    let mut group = c.benchmark_group("explore/consed-warm-3^N");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let p = independent_components(n);
+        // Warm the store and the successor memos once, outside timing.
+        let baseline = explore(&p, &defs, opts).len();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| {
+                let g = explore(std::hint::black_box(p), &defs, opts);
+                assert_eq!(g.len(), baseline);
+                g.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
     name = benches;
     config = bpi_bench::criterion();
-    targets = bench_explore, bench_normalisation_overhead
+    targets = bench_explore, bench_normalisation_overhead, bench_consed_warm_exploration
 }
 criterion_main!(benches);

@@ -57,8 +57,7 @@ fn bench_loss_sweep(c: &mut Criterion) {
                 b.iter(|| {
                     let plan = FaultPlan::new(17).with_default_loss(loss);
                     let mut sim = FaultySimulator::new(&defs, plan);
-                    let (trace, log) =
-                        sim.run_until_output(std::hint::black_box(&sys), o, 2_000);
+                    let (trace, log) = sim.run_until_output(std::hint::black_box(&sys), o, 2_000);
                     // Detection within the cap is guaranteed only on the
                     // reliable network; at high loss the interesting
                     // number is how far the budget got (steps × drops).

@@ -70,7 +70,7 @@ fn bench_discard_width(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = bpi_bench::criterion();
     targets = bench_fanout,

@@ -94,14 +94,62 @@ fn bench_prover(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+fn bench_consed_vs_seed(c: &mut Criterion) {
+    // B8 (term-level half) — the hash-consing store against the seed's
+    // tree walks, on the same deep term: α-canonicalisation and free
+    // names fresh each call vs served from the consed node, and
+    // α-equivalence by canon-and-compare vs one consed-identity check.
+    // The pins keep the consed cells (and their canon cells) live across
+    // iterations, as the explorer's visited table does — without a live
+    // handle every lookup would be a fresh miss.
+    let p = deep_term(12);
+    let q = deep_term(12);
+    let (_pin_p, _pin_q) = (bpi_core::cons(&p), bpi_core::cons(&q));
+    let (_pin_cp, _pin_cq) = (
+        bpi_core::cons(&bpi_core::cached_canon(&p)),
+        bpi_core::cons(&bpi_core::cached_canon(&q)),
+    );
+    let mut group = c.benchmark_group("normalize/consed-vs-seed");
+    group.bench_function("canon-fresh", |b| {
+        b.iter(|| bpi_core::canon(std::hint::black_box(&p)))
+    });
+    group.bench_function("canon-cached", |b| {
+        b.iter(|| bpi_core::cached_canon(std::hint::black_box(&p)))
+    });
+    group.bench_function("free-names-fresh", |b| {
+        b.iter(|| std::hint::black_box(&p).free_names())
+    });
+    group.bench_function("free-names-cached", |b| {
+        b.iter(|| bpi_core::cached_free_names(std::hint::black_box(&p)))
+    });
+    group.bench_function("alpha-eq-fresh", |b| {
+        b.iter(|| {
+            assert!(bpi_core::alpha_eq(
+                std::hint::black_box(&p),
+                std::hint::black_box(&q)
+            ))
+        })
+    });
+    group.bench_function("alpha-eq-consed", |b| {
+        b.iter(|| {
+            assert!(
+                bpi_core::cons(&bpi_core::cached_canon(std::hint::black_box(&p)))
+                    == bpi_core::cons(&bpi_core::cached_canon(std::hint::black_box(&q)))
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
     name = benches;
     config = bpi_bench::criterion();
     targets = bench_heads,
     bench_normalize_deep,
     bench_hnf_partitions,
     bench_expansion_blowup,
-    bench_prover
+    bench_prover,
+    bench_consed_vs_seed
 
 }
 criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! Pinned-size performance report — emits the machine-readable
+//! `BENCH_2.json` baseline tracked at the repo root.
+//!
+//! Criterion gives the full statistical story (`cargo bench`); this bin
+//! runs a small fixed set of before/after measurements with
+//! `std::time::Instant` medians so the perf trajectory can be diffed as
+//! JSON across PRs. "Baseline" legs run the retained seed code paths
+//! (naive `refine` oracle, fresh `canon`/`free_names` tree walks, cold
+//! first exploration); "optimized" legs run the PR 2 paths (worklist
+//! engine, consed caches, warm memoized exploration).
+//!
+//! Usage:
+//!   cargo run --release -p bpi-bench --bin bench_report [OUT.json]
+//!   cargo run -p bpi-bench --bin bench_report -- --check   # CI smoke
+//!
+//! `--check` shrinks every instance and skips the file write: it only
+//! proves the report harness still runs.
+
+use bpi_bench::{deep_term, independent_components, scaled_pair, tau_chain};
+use bpi_core::syntax::Defs;
+use bpi_equiv::{refine, refine_worklist, shared_pool, Graph, Opts, Variant};
+use bpi_semantics::{explore, ExploreOpts};
+use std::time::Instant;
+
+struct Entry {
+    id: &'static str,
+    baseline_us: f64,
+    optimized_us: f64,
+    note: &'static str,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        if self.optimized_us > 0.0 {
+            self.baseline_us / self.optimized_us
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn median_us(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn refine_pair(
+    id: &'static str,
+    p: &bpi_core::syntax::P,
+    q: &bpi_core::syntax::P,
+    v: Variant,
+    repeats: usize,
+    note: &'static str,
+) -> Entry {
+    let defs = Defs::new();
+    let opts = Opts::default();
+    let pool = shared_pool(p, q, opts.fresh_inputs);
+    let g1 = Graph::build(p, &defs, &pool, opts).expect("pinned instance fits");
+    let g2 = Graph::build(q, &defs, &pool, opts).expect("pinned instance fits");
+    let baseline_us = median_us(repeats, || {
+        assert!(refine(v, &g1, &g2).holds(0, 0));
+    });
+    let optimized_us = median_us(repeats, || {
+        assert!(refine_worklist(v, &g1, &g2).holds(0, 0));
+    });
+    Entry {
+        id,
+        baseline_us,
+        optimized_us,
+        note,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
+
+    // Pinned sizes; --check shrinks everything to a smoke run.
+    let (ladder_n, scaled_n, explore_n, depth, reps) = if check {
+        (6, 3, 3, 6, 1)
+    } else {
+        (48, 8, 8, 12, 9)
+    };
+
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // B9 — refinement engines on prebuilt graphs. The τ-ladder is the
+    // largest pinned instance: kills propagate one step per naive
+    // sweep, so the global fixpoint pays O(n) sweeps over the full
+    // (n+1)^2 pair table where the worklist touches each pair O(deg)
+    // times.
+    let ladder = tau_chain(ladder_n);
+    entries.push(refine_pair(
+        "bisim/refine/tau-ladder/strong-labelled",
+        &ladder,
+        &ladder,
+        Variant::StrongLabelled,
+        reps,
+        "naive refine oracle vs predecessor-indexed worklist, 49-state ladder",
+    ));
+    let (p, q) = scaled_pair(scaled_n);
+    entries.push(refine_pair(
+        "bisim/refine/scaled-sums/strong-labelled",
+        &p,
+        &q,
+        Variant::StrongLabelled,
+        reps,
+        "tiny graph: dependency-index setup can outweigh the saved sweeps",
+    ));
+    entries.push(refine_pair(
+        "bisim/refine/scaled-sums/weak-labelled",
+        &p,
+        &q,
+        Variant::WeakLabelled,
+        reps,
+        "weak dependency sets are inverse reachability",
+    ));
+
+    // B8 — exploration: the cold first run derives every transition and
+    // conses every state (what the seed paid on each run); warm re-runs
+    // are served by the (consed term, defs generation) successor memos.
+    let defs = Defs::new();
+    let sys = independent_components(explore_n);
+    let opts = ExploreOpts::default();
+    let t = Instant::now();
+    let cold_len = explore(&sys, &defs, opts).len();
+    let cold_us = t.elapsed().as_secs_f64() * 1e6;
+    let warm_us = median_us(reps, || {
+        assert_eq!(explore(&sys, &defs, opts).len(), cold_len);
+    });
+    entries.push(Entry {
+        id: "explore/independent-3^N/cold-vs-warm",
+        baseline_us: cold_us,
+        optimized_us: warm_us,
+        note: "first run (derive + cons everything) vs memoized re-run, 3^8 states",
+    });
+
+    // B8 — term-level: canon / free_names fresh tree walks vs the
+    // consed node's caches. A live handle pins the class — exactly what
+    // the explorer's visited table and the graph memo do — otherwise
+    // the weak cell dies between calls and every lookup is a miss.
+    let term = deep_term(depth);
+    let _pin = bpi_core::cons(&term);
+    let _ = bpi_core::cached_canon(&term); // warm the consed node once
+    entries.push(Entry {
+        id: "normalize/canon/fresh-vs-cached",
+        baseline_us: median_us(reps, || {
+            std::hint::black_box(bpi_core::canon(&term));
+        }),
+        optimized_us: median_us(reps, || {
+            std::hint::black_box(bpi_core::cached_canon(&term));
+        }),
+        note: "alpha-canonical form, depth-12 alternating term",
+    });
+    entries.push(Entry {
+        id: "normalize/free-names/fresh-vs-cached",
+        baseline_us: median_us(reps, || {
+            std::hint::black_box(term.free_names());
+        }),
+        optimized_us: median_us(reps, || {
+            std::hint::black_box(bpi_core::cached_free_names(&term));
+        }),
+        note: "free-name set, depth-12 alternating term",
+    });
+
+    // Render.
+    let (ptr_hits, hash_hits, misses) = bpi_core::store::store_stats();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bpi-bench-report/v1\",\n");
+    json.push_str("  \"pr\": 2,\n");
+    json.push_str(&format!(
+        "  \"pinned\": {{ \"tau_ladder\": {ladder_n}, \"scaled_sums\": {scaled_n}, \"explore_components\": {explore_n}, \"term_depth\": {depth}, \"repeats\": {reps} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"store\": {{ \"ptr_hits\": {ptr_hits}, \"hash_hits\": {hash_hits}, \"misses\": {misses} }},\n"
+    ));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"baseline_us\": {:.1}, \"optimized_us\": {:.1}, \"speedup\": {:.2}, \"note\": \"{}\" }}{}\n",
+            e.id,
+            e.baseline_us,
+            e.optimized_us,
+            e.speedup(),
+            e.note,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    for e in &entries {
+        eprintln!(
+            "{:<48} {:>10.1}us -> {:>10.1}us  ({:>5.2}x)",
+            e.id,
+            e.baseline_us,
+            e.optimized_us,
+            e.speedup()
+        );
+    }
+    if check {
+        eprintln!("--check: report harness ok, not writing {out_path}");
+    } else {
+        std::fs::write(&out_path, json).expect("write report");
+        eprintln!("wrote {out_path}");
+    }
+}

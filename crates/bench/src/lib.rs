@@ -28,6 +28,50 @@ pub fn tau_chain(n: usize) -> bpi_core::syntax::P {
     (0..n).fold(nil(), |acc, _| tau(acc))
 }
 
+/// A positive bisimulation pair of size ~n: nested sums of broadcast
+/// sequences, one side commuted (shared by benches/bisim.rs and the
+/// `bench_report` bin).
+pub fn scaled_pair(n: usize) -> (bpi_core::syntax::P, bpi_core::syntax::P) {
+    use bpi_core::builder::*;
+    let [a, b, c] = names(["a", "b", "c"]);
+    let mut p = nil();
+    let mut q = nil();
+    for i in 0..n {
+        let ch = [a, b, c][i % 3];
+        let leaf_p = out(ch, [], tau(out_(ch, [])));
+        let leaf_q = out(ch, [], tau(out_(ch, [])));
+        p = sum(leaf_p, p);
+        q = sum(q, leaf_q); // commuted association
+    }
+    (p, q)
+}
+
+/// `Πᴺ (āᵢ.b̄ᵢ)` — 3^N reachable states (shared by benches/explore.rs
+/// and the `bench_report` bin).
+pub fn independent_components(n: usize) -> bpi_core::syntax::P {
+    use bpi_core::builder::*;
+    par_of((0..n).map(|i| {
+        let a = bpi_core::Name::intern_raw(&format!("ea{i}"));
+        let b = bpi_core::Name::intern_raw(&format!("eb{i}"));
+        out(a, [], out_(b, []))
+    }))
+}
+
+/// The deep alternating prefix/sum term from benches/normalize.rs.
+pub fn deep_term(depth: usize) -> bpi_core::syntax::P {
+    use bpi_core::builder::*;
+    let [a, b, x] = names(["a", "b", "x"]);
+    let mut p = nil();
+    for i in 0..depth {
+        p = match i % 3 {
+            0 => out(a, [b], p),
+            1 => inp(a, [x], p),
+            _ => sum(tau(p.clone()), p),
+        };
+    }
+    p
+}
+
 /// Shared Criterion configuration: shorter warm-up and measurement
 /// windows than the defaults, so the full `cargo bench --workspace`
 /// sweep (≈80 benchmark points) completes in minutes while still

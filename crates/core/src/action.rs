@@ -50,9 +50,9 @@ impl Action {
     pub fn subject(&self) -> Option<Name> {
         match self {
             Action::Tau => None,
-            Action::Input { chan, .. }
-            | Action::Output { chan, .. }
-            | Action::Discard { chan } => Some(*chan),
+            Action::Input { chan, .. } | Action::Output { chan, .. } | Action::Discard { chan } => {
+                Some(*chan)
+            }
         }
     }
 

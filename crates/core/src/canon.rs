@@ -40,11 +40,7 @@ impl Canonizer {
         }
     }
 
-    fn with_binders<T>(
-        &mut self,
-        binders: &[Name],
-        f: impl FnOnce(&mut Self, &[Name]) -> T,
-    ) -> T {
+    fn with_binders<T>(&mut self, binders: &[Name], f: impl FnOnce(&mut Self, &[Name]) -> T) -> T {
         let depth = self.env.len();
         let fresh: Vec<Name> = binders
             .iter()
@@ -84,13 +80,9 @@ impl Canonizer {
             Process::New(x, cont) => self.with_binders(std::slice::from_ref(x), |me, fresh| {
                 Process::New(fresh[0], me.go(cont)).rc()
             }),
-            Process::Match(x, y, l, r) => Process::Match(
-                self.lookup(*x),
-                self.lookup(*y),
-                self.go(l),
-                self.go(r),
-            )
-            .rc(),
+            Process::Match(x, y, l, r) => {
+                Process::Match(self.lookup(*x), self.lookup(*y), self.go(l), self.go(r)).rc()
+            }
             Process::Call(id, args) => {
                 Process::Call(*id, args.iter().map(|&a| self.lookup(a)).collect()).rc()
             }

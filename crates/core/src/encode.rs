@@ -146,7 +146,8 @@ mod ident_table {
 
     // Dense id assignment for idents, independent of the interner's
     // private representation.
-    static TABLE: LazyLock<RwLock<(Vec<Ident>, std::collections::HashMap<Ident, u32>)>> =
+    type Table = (Vec<Ident>, std::collections::HashMap<Ident, u32>);
+    static TABLE: LazyLock<RwLock<Table>> =
         LazyLock::new(|| RwLock::new((Vec::new(), std::collections::HashMap::new())));
 
     pub fn id_of(i: Ident) -> u32 {

@@ -30,6 +30,7 @@ pub mod parser;
 pub mod pretty;
 pub mod serde_impls;
 pub mod simplify;
+pub mod store;
 pub mod subst;
 pub mod syntax;
 
@@ -37,7 +38,8 @@ pub use action::Action;
 pub use canon::{alpha_eq, canon};
 pub use encode::{decode, encode};
 pub use name::{fresh_name, fresh_names, Name, NameSet};
-pub use simplify::prune;
 pub use parser::{parse_defs, parse_process, ParseError};
+pub use simplify::prune;
+pub use store::{cached_canon, cached_free_names, cons, term_id, Consed, TermId};
 pub use subst::{unfold_call, unfold_rec, Subst};
 pub use syntax::{Def, Defs, Ident, Prefix, Process, RecDef, P};

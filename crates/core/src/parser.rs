@@ -167,10 +167,7 @@ impl Parser {
     }
 
     fn pos(&self) -> usize {
-        self.toks
-            .get(self.i)
-            .map(|(p, _)| *p)
-            .unwrap_or(usize::MAX)
+        self.toks.get(self.i).map(|(p, _)| *p).unwrap_or(usize::MAX)
     }
 
     fn bump(&mut self) -> Option<Tok> {

@@ -73,7 +73,16 @@ fn go(p: &Process, lvl: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str(" + ")?;
             // The parser is left-associative; a right-nested sum needs
             // explicit parentheses for an exact round trip.
-            go(r, LVL_SUM + if matches!(&**r, Process::Sum(..)) { 1 } else { 0 }, f)?;
+            go(
+                r,
+                LVL_SUM
+                    + if matches!(&**r, Process::Sum(..)) {
+                        1
+                    } else {
+                        0
+                    },
+                f,
+            )?;
             if needs {
                 f.write_str(")")?;
             }
@@ -86,7 +95,16 @@ fn go(p: &Process, lvl: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             }
             go(l, LVL_PAR, f)?;
             f.write_str(" | ")?;
-            go(r, LVL_PAR + if matches!(&**r, Process::Par(..)) { 1 } else { 0 }, f)?;
+            go(
+                r,
+                LVL_PAR
+                    + if matches!(&**r, Process::Par(..)) {
+                        1
+                    } else {
+                        0
+                    },
+                f,
+            )?;
             if needs {
                 f.write_str(")")?;
             }

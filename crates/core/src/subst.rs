@@ -122,10 +122,7 @@ impl Subst {
 
     fn go(&self, p: &P) -> P {
         // Fast path: nothing this substitution moves occurs free here.
-        if self
-            .proper_domain()
-            .is_disjoint(&p.free_names())
-        {
+        if self.proper_domain().is_disjoint(&p.free_names()) {
             return p.clone();
         }
         match &**p {
@@ -139,11 +136,7 @@ impl Subst {
                 .rc(),
                 Prefix::Input(a, binders) => {
                     let (binders2, cont2, inner) = self.enter_binders(binders, cont);
-                    Process::Act(
-                        Prefix::Input(self.apply(*a), binders2),
-                        inner.go(&cont2),
-                    )
-                    .rc()
+                    Process::Act(Prefix::Input(self.apply(*a), binders2), inner.go(&cont2)).rc()
                 }
             },
             Process::Sum(l, r) => Process::Sum(self.go(l), self.go(r)).rc(),
@@ -152,13 +145,9 @@ impl Subst {
                 let (bs, cont2, inner) = self.enter_binders(std::slice::from_ref(x), cont);
                 Process::New(bs[0], inner.go(&cont2)).rc()
             }
-            Process::Match(x, y, l, r) => Process::Match(
-                self.apply(*x),
-                self.apply(*y),
-                self.go(l),
-                self.go(r),
-            )
-            .rc(),
+            Process::Match(x, y, l, r) => {
+                Process::Match(self.apply(*x), self.apply(*y), self.go(l), self.go(r)).rc()
+            }
             Process::Call(id, args) => Process::Call(*id, self.apply_all(args)).rc(),
             Process::Var(id, args) => Process::Var(*id, self.apply_all(args)).rc(),
             Process::Rec(def, args) => {
@@ -197,7 +186,7 @@ impl Subst {
         for b in &mut binders2 {
             let captured = free.iter().any(|z| inner.apply(z) == *b);
             if captured {
-                let b2 = fresh_name(&b.spelling());
+                let b2 = fresh_name(b.spelling());
                 renaming.bind(*b, b2);
                 *b = b2;
             }
@@ -274,19 +263,13 @@ pub fn plug_ident(e: &P, x: Ident, params: &[Name], p: &P) -> P {
             Subst::parallel(params, args).apply_process(p)
         }
         Process::Nil | Process::Var(..) | Process::Call(..) => e.clone(),
-        Process::Act(pre, cont) => {
-            Process::Act(pre.clone(), plug_ident(cont, x, params, p)).rc()
+        Process::Act(pre, cont) => Process::Act(pre.clone(), plug_ident(cont, x, params, p)).rc(),
+        Process::Sum(l, r) => {
+            Process::Sum(plug_ident(l, x, params, p), plug_ident(r, x, params, p)).rc()
         }
-        Process::Sum(l, r) => Process::Sum(
-            plug_ident(l, x, params, p),
-            plug_ident(r, x, params, p),
-        )
-        .rc(),
-        Process::Par(l, r) => Process::Par(
-            plug_ident(l, x, params, p),
-            plug_ident(r, x, params, p),
-        )
-        .rc(),
+        Process::Par(l, r) => {
+            Process::Par(plug_ident(l, x, params, p), plug_ident(r, x, params, p)).rc()
+        }
         Process::New(n, cont) => Process::New(*n, plug_ident(cont, x, params, p)).rc(),
         Process::Match(a, b, l, r) => Process::Match(
             *a,

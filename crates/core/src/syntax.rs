@@ -23,8 +23,14 @@ pub type P = Arc<Process>;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ident(u32);
 
-static IDENTS: LazyLock<RwLock<(Vec<String>, std::collections::HashMap<String, u32>)>> =
+type SpellingTable = (
+    Vec<&'static str>,
+    std::collections::HashMap<&'static str, u32>,
+);
+static IDENTS: LazyLock<RwLock<SpellingTable>> =
     LazyLock::new(|| RwLock::new((Vec::new(), std::collections::HashMap::new())));
+
+static IDENT_SPELLINGS: crate::name::StrTable = crate::name::StrTable::new();
 
 impl Ident {
     /// Interns a process identifier.
@@ -40,20 +46,22 @@ impl Ident {
             return Ident(id);
         }
         let id = u32::try_from(g.0.len()).expect("ident interner overflow");
-        g.0.push(s.to_owned());
-        g.1.insert(s.to_owned(), id);
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        IDENT_SPELLINGS.set(id, leaked);
+        g.0.push(leaked);
+        g.1.insert(leaked, id);
         Ident(id)
     }
 
-    /// The spelling of the identifier.
-    pub fn spelling(self) -> String {
-        IDENTS.read().0[self.0 as usize].clone()
+    /// The spelling of the identifier. Lock-free after creation.
+    pub fn spelling(self) -> &'static str {
+        IDENT_SPELLINGS.get(self.0)
     }
 }
 
 impl fmt::Display for Ident {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&IDENTS.read().0[self.0 as usize])
+        f.write_str(self.spelling())
     }
 }
 
@@ -347,10 +355,19 @@ pub struct Def {
 /// An environment of (possibly mutually recursive) process definitions,
 /// used to resolve [`Process::Call`]. The worked examples of Section 2.2
 /// (Detector, Edge_manager, Item, Tr_Man, …) are expressed this way.
-#[derive(Clone, Default, Debug)]
+///
+/// Each mutation stamps a fresh, run-global **generation** number, so
+/// semantic caches keyed by `(term, defs.generation())` are invalidated
+/// exactly when a definition could have changed the transition relation.
+/// All empty environments share generation 0, which keeps caches hot
+/// across the ubiquitous `Defs::new()` call sites.
+#[derive(Clone, Debug, Default)]
 pub struct Defs {
     map: std::collections::BTreeMap<Ident, Def>,
+    generation: u64,
 }
+
+static DEFS_GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Defs {
     /// An empty environment (all `Call`s unresolved).
@@ -361,7 +378,16 @@ impl Defs {
     /// Adds (or replaces) the definition `name(params) ≝ body`.
     pub fn define(&mut self, name: Ident, params: Vec<Name>, body: P) -> &mut Self {
         self.map.insert(name, Def { params, body });
+        self.generation = DEFS_GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self
+    }
+
+    /// A run-global stamp identifying this environment's contents: 0 for
+    /// every empty environment, otherwise bumped on each [`Defs::define`].
+    /// Two `Defs` with equal generation have identical contents (the
+    /// converse need not hold), so it is a sound cache key.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Looks up a definition.

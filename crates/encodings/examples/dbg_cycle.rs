@@ -19,7 +19,20 @@ fn main() {
         let g = random_graph(seed, 3, 3);
         let (sys, defs, _o) = edge_managers_system(&g);
         let start = std::time::Instant::now();
-        let graph = explore(&sys, &defs, ExploreOpts{ max_states: 50_000, normalize_extruded: true });
-        println!("seed {seed}: {:?} -> {} states trunc={} in {:?}", g.edges, graph.len(), graph.truncated, start.elapsed());
+        let graph = explore(
+            &sys,
+            &defs,
+            ExploreOpts {
+                max_states: 50_000,
+                normalize_extruded: true,
+            },
+        );
+        println!(
+            "seed {seed}: {:?} -> {} states trunc={} in {:?}",
+            g.edges,
+            graph.len(),
+            graph.truncated,
+            start.elapsed()
+        );
     }
 }

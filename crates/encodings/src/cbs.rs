@@ -39,10 +39,7 @@ pub fn shared_instances() -> (P, Name, Name, Name, Name) {
     let c = Name::intern_raw("medium");
     let (v1, v2) = (Name::intern_raw("val1"), Name::intern_raw("val2"));
     let (o1, o2) = (Name::intern_raw("obsA"), Name::intern_raw("obsB"));
-    let sys = par(
-        protocol_instance(c, v1, o1),
-        protocol_instance(c, v2, o2),
-    );
+    let sys = par(protocol_instance(c, v1, o1), protocol_instance(c, v2, o2));
     (sys, v1, v2, o1, o2)
 }
 
@@ -63,9 +60,10 @@ pub fn observes(sys: &P, obs: Name, val: Name) -> bool {
     let defs = Defs::new();
     let g = explore(sys, &defs, ExploreOpts::default());
     assert!(!g.truncated, "protocol state space must be finite");
-    g.edges.iter().flatten().any(|(act, _)| {
-        act.is_output() && act.subject() == Some(obs) && act.objects() == [val]
-    })
+    g.edges
+        .iter()
+        .flatten()
+        .any(|(act, _)| act.is_output() && act.subject() == Some(obs) && act.objects() == [val])
 }
 
 /// Dynamic scoping demo: a joiner that first *receives* the name of a

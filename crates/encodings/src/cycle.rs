@@ -26,7 +26,9 @@
 use bpi_core::builder::*;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, Ident, P};
-use bpi_semantics::{explore, ExploreOpts, FaultLog, FaultPlan, FaultySimulator, Simulator, StateGraph};
+use bpi_semantics::{
+    explore, ExploreOpts, FaultLog, FaultPlan, FaultySimulator, Simulator, StateGraph,
+};
 use std::collections::{HashMap, HashSet};
 
 /// A directed graph over vertex labels.
@@ -132,12 +134,7 @@ pub fn edge_manager(o: Name, a: Name, b: Name, persistent_pump: bool) -> P {
         inp(
             a,
             [w],
-            mat(
-                u,
-                w,
-                out_(o, []),
-                par(out_(b, [w]), var(xid, [o, a, b, u])),
-            ),
+            mat(u, w, out_(o, []), par(out_(b, [w]), var(xid, [o, a, b, u]))),
         ),
         [o, a, b, u],
     );

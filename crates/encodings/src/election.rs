@@ -106,13 +106,7 @@ pub fn every_run_elects(n: usize, max_states: usize) -> bool {
     assert!(!g.truncated, "state budget too small");
     // Walk all maximal paths counting `led` outputs; the graph is a DAG
     // here (every transition consumes a prefix), so DFS terminates.
-    fn dfs(
-        g: &bpi_semantics::StateGraph,
-        ch: &Channels,
-        i: usize,
-        leaders: usize,
-        ok: &mut bool,
-    ) {
+    fn dfs(g: &bpi_semantics::StateGraph, ch: &Channels, i: usize, leaders: usize, ok: &mut bool) {
         if g.edges[i].is_empty() {
             if leaders != 1 {
                 *ok = false;

@@ -139,7 +139,8 @@ pub fn pi_may_barbs(p: &Pi, budget: usize) -> BTreeSet<String> {
             break;
         }
         let mut key = st.clone();
-        key.comps.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        key.comps
+            .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         if !seen.insert(format!("{key:?}")) {
             continue;
         }
@@ -152,7 +153,9 @@ pub fn pi_may_barbs(p: &Pi, budget: usize) -> BTreeSet<String> {
         }
         // Handshakes: every (output, input) pair on the same channel.
         for (i, c1) in st.comps.iter().enumerate() {
-            let Pi::Out(ch, msg, pcont) = c1 else { continue };
+            let Pi::Out(ch, msg, pcont) = c1 else {
+                continue;
+            };
             for (j, c2) in st.comps.iter().enumerate() {
                 if i == j {
                     continue;
@@ -240,10 +243,7 @@ impl PiEncoder {
                 let body = inp(
                     cn,
                     [xb, l],
-                    sum(
-                        new(m, out(l, [m], k)),
-                        inp(l, [o], var(id, fv.clone())),
-                    ),
+                    sum(new(m, out(l, [m], k)), inp(l, [o], var(id, fv.clone()))),
                 );
                 rec(id, fv.clone(), body, fv)
             }
@@ -357,10 +357,7 @@ mod tests {
             Pi::inp("x", "z", Pi::out("z", "z", Pi::Nil)),
         );
         let barbs = pi_may_barbs(&p, 1000);
-        assert_eq!(
-            barbs,
-            BTreeSet::from(["x".to_string(), "y".to_string()])
-        );
+        assert_eq!(barbs, BTreeSet::from(["x".to_string(), "y".to_string()]));
     }
 
     #[test]

@@ -336,10 +336,7 @@ mod tests {
                 ),
                 (
                     "B".into(),
-                    Program::new(vec![
-                        Instr::Receive("x".into()),
-                        observe("b", Expr::v("x")),
-                    ]),
+                    Program::new(vec![Instr::Receive("x".into()), observe("b", Expr::v("x"))]),
                 ),
             ],
         };
@@ -375,8 +372,12 @@ mod tests {
         for seed in 0..60 {
             let mut sim = Simulator::new(&defs, seed);
             let tr = sim.run(&p, 400);
-            if tr.outputs_on(obs_chan("b")).contains(&vec![label_name("v")])
-                && tr.outputs_on(obs_chan("c")).contains(&vec![label_name("v")])
+            if tr
+                .outputs_on(obs_chan("b"))
+                .contains(&vec![label_name("v")])
+                && tr
+                    .outputs_on(obs_chan("c"))
+                    .contains(&vec![label_name("v")])
             {
                 both = true;
                 break;

@@ -118,10 +118,7 @@ fn zero_cell(io: Name) -> P {
         mat(
             op,
             inc,
-            new(
-                io2,
-                par(out(ret, [ok], succ_cell(io, io2)), var(id, [io2])),
-            ),
+            new(io2, par(out(ret, [ok], succ_cell(io, io2)), var(id, [io2]))),
             out(ret, [zero], var(id, [io])),
         ),
     );
@@ -145,10 +142,7 @@ fn succ_cell(io: Name, inner: Name) -> P {
             inc,
             new(
                 io2,
-                par(
-                    out(ret, [ok], var(id, [io, io2])),
-                    var(id, [io2, inner]),
-                ),
+                par(out(ret, [ok], var(id, [io, io2])), var(id, [io2, inner])),
             ),
             out(ret, [ok], forwarder(io, inner)),
         ),

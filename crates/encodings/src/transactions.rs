@@ -367,7 +367,10 @@ pub fn detect_inconsistency(h: &History, seeds: std::ops::Range<u64>, steps: usi
     let (sys, defs, error) = detection_system(h);
     for seed in seeds {
         let mut sim = Simulator::new(&defs, seed);
-        if sim.run_until_output(&sys, error, steps).saw_output_on(error) {
+        if sim
+            .run_until_output(&sys, error, steps)
+            .saw_output_on(error)
+        {
             return true;
         }
     }
@@ -660,7 +663,6 @@ pub fn store_client(j: &str, p: &str, access: Access, value: Name, obs: Name) ->
     )
 }
 
-
 #[cfg(test)]
 mod store_tests {
     use super::*;
@@ -670,9 +672,10 @@ mod store_tests {
         let defs = Defs::new();
         let g = explore(sys, &defs, ExploreOpts::default());
         assert!(!g.truncated);
-        g.edges.iter().flatten().any(|(act, _)| {
-            act.is_output() && act.subject() == Some(obs) && act.objects() == [val]
-        })
+        g.edges
+            .iter()
+            .flatten()
+            .any(|(act, _)| act.is_output() && act.subject() == Some(obs) && act.objects() == [val])
     }
 
     #[test]
@@ -700,11 +703,7 @@ mod store_tests {
             req,
             par(
                 out_(store_chan("y"), [t, wr, part_name("P0"), req, v1]),
-                inp(
-                    req,
-                    [ans],
-                    store_client("y", "P0", Access::Read, v0, obs),
-                ),
+                inp(req, [ans], store_client("y", "P0", Access::Read, v0, obs)),
             ),
         );
         let sys = par(store_copy("y", "P0", v0), client);

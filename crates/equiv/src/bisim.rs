@@ -14,14 +14,19 @@
 //! All six relations are decided by the same greatest-fixpoint pair
 //! refinement over the two finite [`Graph`]s: start from the full
 //! relation and delete pairs violating the transfer conditions until
-//! stable.
+//! stable. Two engines compute that fixpoint: the naive global sweep
+//! [`refine`] (kept as a test oracle) and the predecessor-indexed
+//! worklist [`refine_worklist`] that the [`Checker`] runs — killing a
+//! pair re-examines only the pairs with an edge into it, not the whole
+//! relation.
 
 use crate::graph::{shared_pool, Graph, Opts};
 use bpi_core::action::Action;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, P};
 use bpi_semantics::budget::{Budget, EngineError};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// Which bisimulation to check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -170,20 +175,23 @@ impl<'d> Checker<'d> {
         }
     }
 
-    /// Builds both graphs and computes the greatest bisimulation between
-    /// them for the chosen variant. `Err` when either graph exceeds the
-    /// state budget (`opts.max_states` ∧ `budget`) or the budget's
+    /// Builds both graphs (through the global graph memo, so the six
+    /// variants of [`all_variants`] and the congruence/diagnostic layers
+    /// share one build per *(process, pool)*) and computes the greatest
+    /// bisimulation between them for the chosen variant with the
+    /// worklist engine. `Err` when either graph exceeds the state budget
+    /// (`opts.max_states` ∧ `budget`) or the budget's
     /// deadline/cancellation fires.
     pub fn try_fixpoint(
         &self,
         v: Variant,
         p: &P,
         q: &P,
-    ) -> Result<(Graph, Graph, PairRelation), EngineError> {
+    ) -> Result<(Arc<Graph>, Arc<Graph>, PairRelation), EngineError> {
         let pool = shared_pool(p, q, self.opts.fresh_inputs);
-        let g1 = Graph::build_with_budget(p, self.defs, &pool, self.opts, &self.budget)?;
-        let g2 = Graph::build_with_budget(q, self.defs, &pool, self.opts, &self.budget)?;
-        let rel = refine(v, &g1, &g2);
+        let g1 = Graph::build_cached(p, self.defs, &pool, self.opts, &self.budget)?;
+        let g2 = Graph::build_cached(q, self.defs, &pool, self.opts, &self.budget)?;
+        let rel = refine_worklist(v, &g1, &g2);
         Ok((g1, g2, rel))
     }
 
@@ -208,30 +216,119 @@ impl<'d> Checker<'d> {
     }
 }
 
-/// Runs the pair-refinement fixpoint.
+/// Runs the naive pair-refinement fixpoint: sweep the full relation,
+/// deleting violating pairs, until a sweep deletes nothing.
+///
+/// Kept as the reference oracle for [`refine_worklist`] (both converge
+/// to the same greatest fixpoint of the monotone transfer operator; the
+/// proptests in this crate check the agreement on random pairs). Kills
+/// are deferred to the end of each sweep so the two [`RelView`]s are
+/// constructed once per sweep instead of once per pair.
 pub fn refine(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
     let (n1, n2) = (g1.len(), g2.len());
     let mut pr = PairRelation::full(n1, n2);
     loop {
-        let mut changed = false;
-        for i in 0..n1 {
-            for j in 0..n2 {
-                if !pr.rel[i][j] {
-                    continue;
-                }
-                let fwd = RelView::new(&pr.rel, false);
-                let bwd = RelView::new(&pr.rel, true);
-                let ok = direction(v, g1, i, g2, j, fwd) && direction(v, g2, j, g1, i, bwd);
-                if !ok {
-                    pr.rel[i][j] = false;
-                    changed = true;
+        let mut kills = Vec::new();
+        {
+            let fwd = RelView::new(&pr.rel, false);
+            let bwd = RelView::new(&pr.rel, true);
+            for i in 0..n1 {
+                for j in 0..n2 {
+                    if !fwd.holds(i, j) {
+                        continue;
+                    }
+                    let ok = direction(v, g1, i, g2, j, fwd) && direction(v, g2, j, g1, i, bwd);
+                    if !ok {
+                        kills.push((i, j));
+                    }
                 }
             }
         }
-        if !changed {
+        if kills.is_empty() {
             return pr;
         }
+        for (i, j) in kills {
+            pr.rel[i][j] = false;
+        }
     }
+}
+
+/// Per-state dependency sets for the worklist engine: `deps[x]` is the
+/// set of states `i` such that the transfer check of a pair at `i` can
+/// reference a pair at `x` — so a kill at `x` must re-examine `i`.
+///
+/// For the strong variants a check at `i` only references direct
+/// successors of `i` (plus `i` itself, through the input-or-discard
+/// self-moves), so `deps` is the direct predecessor relation plus the
+/// diagonal. For the weak variants the match sets are built from
+/// τ-closures (`⇒ —α→ ⇒`), which reach arbitrarily far, so `deps[x]` is
+/// the inverse *transitive* reachability over all edges — a sound
+/// over-approximation of "can appear in some weak match set".
+fn dependents(g: &Graph, weak: bool) -> Vec<Vec<usize>> {
+    let n = g.len();
+    let mut preds: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (i, es) in g.edges.iter().enumerate() {
+        for (_, j) in es {
+            preds[*j].insert(i);
+        }
+    }
+    (0..n)
+        .map(|x| {
+            let mut seen = BTreeSet::from([x]);
+            if weak {
+                let mut work = vec![x];
+                while let Some(k) = work.pop() {
+                    for &p in &preds[k] {
+                        if seen.insert(p) {
+                            work.push(p);
+                        }
+                    }
+                }
+            } else {
+                seen.extend(preds[x].iter().copied());
+            }
+            seen.into_iter().collect()
+        })
+        .collect()
+}
+
+/// Predecessor-indexed worklist refinement: computes the same greatest
+/// fixpoint as [`refine`], but killing a pair `(x, y)` re-enqueues only
+/// the pairs in `deps₁(x) × deps₂(y)` whose checks could have referenced
+/// it, instead of re-sweeping all `n₁·n₂` pairs.
+pub fn refine_worklist(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
+    let (n1, n2) = (g1.len(), g2.len());
+    let mut pr = PairRelation::full(n1, n2);
+    if n1 == 0 || n2 == 0 {
+        return pr;
+    }
+    let dep1 = dependents(g1, v.is_weak());
+    let dep2 = dependents(g2, v.is_weak());
+    let mut queued = vec![vec![true; n2]; n1];
+    let mut work: VecDeque<(usize, usize)> =
+        (0..n1).flat_map(|i| (0..n2).map(move |j| (i, j))).collect();
+    while let Some((i, j)) = work.pop_front() {
+        queued[i][j] = false;
+        if !pr.rel[i][j] {
+            continue;
+        }
+        let fwd = RelView::new(&pr.rel, false);
+        let bwd = RelView::new(&pr.rel, true);
+        let ok = direction(v, g1, i, g2, j, fwd) && direction(v, g2, j, g1, i, bwd);
+        if ok {
+            continue;
+        }
+        pr.rel[i][j] = false;
+        for &pi in &dep1[i] {
+            for &pj in &dep2[j] {
+                if pr.rel[pi][pj] && !queued[pi][pj] {
+                    queued[pi][pj] = true;
+                    work.push_back((pi, pj));
+                }
+            }
+        }
+    }
+    pr
 }
 
 /// One direction of the transfer property: every move of `(ga, i)` is
@@ -248,9 +345,8 @@ pub fn direction(v: Variant, ga: &Graph, i: usize, gb: &Graph, j: usize, rel: Re
                 return false;
             }
             // τ moves matched by single τ moves.
-            ga.tau_succs(i).all(|i2| {
-                gb.tau_succs(j).any(|j2| rel.holds(i2, j2))
-            })
+            ga.tau_succs(i)
+                .all(|i2| gb.tau_succs(j).any(|j2| rel.holds(i2, j2)))
         }
         Variant::WeakBarbed => {
             let ba = ga.weak_barbs(i);
@@ -258,9 +354,8 @@ pub fn direction(v: Variant, ga: &Graph, i: usize, gb: &Graph, j: usize, rel: Re
             if !ba.iter().all(|a| bb.contains(a)) {
                 return false;
             }
-            ga.tau_succs(i).all(|i2| {
-                gb.tau_closure(j).iter().any(|&j2| rel.holds(i2, j2))
-            })
+            ga.tau_succs(i)
+                .all(|i2| gb.tau_closure(j).iter().any(|&j2| rel.holds(i2, j2)))
         }
         Variant::StrongStep => {
             let ba = ga.strong_barbs(i); // ↓ₐ^φ = immediate output subject
@@ -270,9 +365,8 @@ pub fn direction(v: Variant, ga: &Graph, i: usize, gb: &Graph, j: usize, rel: Re
             }
             // Any step move matched by any single step move (labels are
             // abstracted away — the essence of Definition 5).
-            ga.step_edges(i).all(|(_, i2)| {
-                gb.step_edges(j).any(|(_, j2)| rel.holds(i2, j2))
-            })
+            ga.step_edges(i)
+                .all(|(_, i2)| gb.step_edges(j).any(|(_, j2)| rel.holds(i2, j2)))
         }
         Variant::WeakStep => {
             let ba = ga.weak_step_barbs(i);
@@ -280,35 +374,26 @@ pub fn direction(v: Variant, ga: &Graph, i: usize, gb: &Graph, j: usize, rel: Re
             if !ba.iter().all(|a| bb.contains(a)) {
                 return false;
             }
-            ga.step_edges(i).all(|(_, i2)| {
-                gb.step_closure(j).iter().any(|&j2| rel.holds(i2, j2))
-            })
+            ga.step_edges(i)
+                .all(|(_, i2)| gb.step_closure(j).iter().any(|&j2| rel.holds(i2, j2)))
         }
         Variant::StrongLabelled => strong_labelled_dir(ga, i, gb, j, rel),
         Variant::WeakLabelled => weak_labelled_dir(ga, i, gb, j, rel),
     }
 }
 
-fn strong_labelled_dir(
-    ga: &Graph,
-    i: usize,
-    gb: &Graph,
-    j: usize,
-    rel: RelView<'_>,
-) -> bool {
+fn strong_labelled_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<'_>) -> bool {
     // 1–3: explicit moves of i.
     for (act, i2) in &ga.edges[i] {
         let matched = match act {
             Action::Tau => gb.tau_succs(j).any(|j2| rel.holds(*i2, j2)),
-            Action::Output { .. } => gb
-                .edges[j]
+            Action::Output { .. } => gb.edges[j]
                 .iter()
                 .any(|(b, j2)| b == act && rel.holds(*i2, *j2)),
             Action::Input { chan, .. } => {
                 // a(b)? moves of j: real inputs with this label, or j
                 // itself when j discards the channel.
-                let real = gb
-                    .edges[j]
+                let real = gb.edges[j]
                     .iter()
                     .any(|(b, j2)| b == act && rel.holds(*i2, *j2));
                 real || (gb.state_discards(j, *chan) && rel.holds(*i2, j))
@@ -339,8 +424,7 @@ fn strong_labelled_dir(
             return false;
         }
         for lab in labels {
-            let ok = gb
-                .edges[j]
+            let ok = gb.edges[j]
                 .iter()
                 .any(|(b, j2)| b == lab && rel.holds(i, *j2));
             if !ok {
@@ -355,14 +439,16 @@ fn weak_labelled_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<'_
     for (act, i2) in &ga.edges[i] {
         let matched = match act {
             Action::Tau => gb.tau_closure(j).iter().any(|&j2| rel.holds(*i2, j2)),
-            Action::Output { .. } => gb
-                .weak_label(j, act)
-                .iter()
-                .any(|&j2| rel.holds(*i2, j2)),
+            Action::Output { .. } => gb.weak_label(j, act).iter().any(|&j2| rel.holds(*i2, j2)),
             Action::Input { chan, .. } => {
-                let mut cands = gb.weak_label(j, act);
-                cands.extend(gb.weak_discard(j, *chan));
-                cands.iter().any(|&j2| rel.holds(*i2, j2))
+                // Candidates are the weak same-label moves plus the weak
+                // discards; checked in sequence so the cached sets stay
+                // shared instead of being merged into a scratch set.
+                gb.weak_label(j, act).iter().any(|&j2| rel.holds(*i2, j2))
+                    || gb
+                        .weak_discard(j, *chan)
+                        .iter()
+                        .any(|&j2| rel.holds(*i2, j2))
             }
             Action::Discard { .. } => true,
         };
@@ -375,9 +461,8 @@ fn weak_labelled_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<'_
         let labels = gb.weak_input_labels(j, a);
         let wdisc = gb.weak_discard(j, a);
         let wdisc_related = wdisc.iter().any(|&j2| rel.holds(i, j2));
-        for lab in &labels {
-            let ok = wdisc_related
-                || gb.weak_label(j, lab).iter().any(|&j2| rel.holds(i, j2));
+        for lab in labels.iter() {
+            let ok = wdisc_related || gb.weak_label(j, lab).iter().any(|&j2| rel.holds(i, j2));
             if !ok {
                 return false;
             }
@@ -385,9 +470,10 @@ fn weak_labelled_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<'_
         // Tuples at arities nobody receives at are matched only through a
         // weak discard.
         let ar_cov: BTreeSet<usize> = labels.iter().map(|l| l.objects().len()).collect();
-        let mut ar_all = ga.arities_on(a);
-        ar_all.extend(gb.arities_on(a));
-        let uncovered = ar_all.is_empty() || ar_all.iter().any(|n| !ar_cov.contains(n));
+        let ar_a = ga.arities_on(a);
+        let ar_b = gb.arities_on(a);
+        let uncovered = (ar_a.is_empty() && ar_b.is_empty())
+            || ar_a.iter().chain(ar_b.iter()).any(|n| !ar_cov.contains(n));
         if uncovered && !wdisc_related {
             return false;
         }
@@ -555,12 +641,18 @@ mod tests {
         assert!(!strong_bisimilar(&p, &q, &d));
         assert!(!weak_bisimilar(&p, &q, &d));
         assert!(!strong_step_bisimilar(&p, &q, &d));
-        assert!(strong_barbed_bisimilar(&p, &q, &d), "barbed bisim is blind here");
+        assert!(
+            strong_barbed_bisimilar(&p, &q, &d),
+            "barbed bisim is blind here"
+        );
         // The distinguishing static context: νa ([·] ‖ a()) — a 0-ary
         // listener matching the 0-ary broadcast.
         let cp = new(a, par(p, inp_(a, [])));
         let cq = new(a, par(q, inp_(a, [])));
-        assert!(!strong_barbed_bisimilar(&cp, &cq, &d), "…but barbed equivalence is not");
+        assert!(
+            !strong_barbed_bisimilar(&cp, &cq, &d),
+            "…but barbed equivalence is not"
+        );
         assert!(!weak_barbed_bisimilar(&cp, &cq, &d));
     }
 
@@ -640,6 +732,70 @@ mod tests {
         // Conclusive answers on small systems are unaffected by a budget.
         let c4 = Checker::new(&d).with_budget(Budget::states(1000));
         assert!(c4.check(Variant::StrongLabelled, &nil(), &nil()).holds());
+    }
+
+    #[test]
+    fn direction_short_circuits_on_the_failing_side_only() {
+        // Asymmetric counterexample: p = τ.nil, q = nil. The forward
+        // transfer fails (p's τ has no answer) while the backward
+        // transfer holds (nil has no moves; its discards are matched by
+        // p's own discards) — so the `&&` in the engines must really
+        // evaluate both directions, and a symmetric-looking shortcut
+        // that checked only one direction would wrongly accept the pair.
+        let d = defs();
+        let p = tau(nil());
+        let q = nil();
+        let pool = shared_pool(&p, &q, 1);
+        let g1 = Graph::build(&p, &d, &pool, Opts::default()).unwrap();
+        let g2 = Graph::build(&q, &d, &pool, Opts::default()).unwrap();
+        let pr = PairRelation::full(g1.len(), g2.len());
+        let fwd = RelView::new(&pr.rel, false);
+        let bwd = RelView::new(&pr.rel, true);
+        assert!(
+            !direction(Variant::StrongLabelled, &g1, 0, &g2, 0, fwd),
+            "forward direction must fail: τ.nil moves, nil cannot answer"
+        );
+        assert!(
+            direction(Variant::StrongLabelled, &g2, 0, &g1, 0, bwd),
+            "backward direction alone holds: nil has no moves to match"
+        );
+        assert!(!refine(Variant::StrongLabelled, &g1, &g2).holds(0, 0));
+        assert!(!refine_worklist(Variant::StrongLabelled, &g1, &g2).holds(0, 0));
+    }
+
+    #[test]
+    fn worklist_agrees_with_naive_refine_on_paper_witnesses() {
+        // Full-relation agreement (not just the root pair) on the
+        // paper's distinguishing witnesses, across all six variants.
+        let d = defs();
+        let [a, b, c, x] = names(["a", "b", "c", "x"]);
+        let pairs: Vec<(bpi_core::syntax::P, bpi_core::syntax::P)> = vec![
+            (out(b, [a], out_(a, [])), out(b, [c], out_(a, []))),
+            (tau(out_(a, [])), out_(a, [])),
+            (inp_(a, [x]), nil()),
+            (
+                out(a, [], sum(out_(b, []), out_(c, []))),
+                sum(out(a, [], out_(b, [])), out(a, [], out_(c, []))),
+            ),
+            (sum(inp_(a, [x]), tau_()), new(a, out(b, [a], out_(a, [])))),
+        ];
+        for (p, q) in &pairs {
+            let pool = shared_pool(p, q, 1);
+            let g1 = Graph::build(p, &d, &pool, Opts::default()).unwrap();
+            let g2 = Graph::build(q, &d, &pool, Opts::default()).unwrap();
+            for v in [
+                Variant::StrongBarbed,
+                Variant::WeakBarbed,
+                Variant::StrongStep,
+                Variant::WeakStep,
+                Variant::StrongLabelled,
+                Variant::WeakLabelled,
+            ] {
+                let naive = refine(v, &g1, &g2);
+                let fast = refine_worklist(v, &g1, &g2);
+                assert_eq!(naive.rel, fast.rel, "{v:?} diverged on {p} vs {q}");
+            }
+        }
     }
 
     #[test]

@@ -19,10 +19,10 @@
 //! provided; the paper defers their axiomatisation to future work, and so
 //! do we.
 
-use crate::bisim::{refine, Checker, RelView, Variant};
+use crate::bisim::{refine_worklist, Checker, RelView, Variant};
 use crate::graph::{identification_substs, shared_pool, Graph, Opts};
 use bpi_core::syntax::{Defs, P};
-use bpi_semantics::budget::EngineError;
+use bpi_semantics::budget::{Budget, EngineError};
 
 /// One strict transfer step: every move of `(ga, i)` — including inputs —
 /// is matched by a move of `(gb, j)` carrying the **same label**, with
@@ -124,7 +124,7 @@ fn weak_plus_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<'_>) -
 fn ga_tau_plus(g: &Graph, j: usize) -> std::collections::BTreeSet<usize> {
     let mut out = std::collections::BTreeSet::new();
     for j1 in g.tau_succs(j) {
-        out.extend(g.tau_closure(j1));
+        out.extend(g.tau_closure(j1).iter().copied());
     }
     out
 }
@@ -133,9 +133,10 @@ fn ga_tau_plus(g: &Graph, j: usize) -> std::collections::BTreeSet<usize> {
 /// `Err` when the graphs exceed `opts.max_states`.
 pub fn try_weak_sim_plus(p: &P, q: &P, defs: &Defs, opts: Opts) -> Result<bool, EngineError> {
     let pool = shared_pool(p, q, opts.fresh_inputs);
-    let g1 = Graph::build(p, defs, &pool, opts)?;
-    let g2 = Graph::build(q, defs, &pool, opts)?;
-    let rel = refine(Variant::WeakLabelled, &g1, &g2);
+    let budget = Budget::unlimited();
+    let g1 = Graph::build_cached(p, defs, &pool, opts, &budget)?;
+    let g2 = Graph::build_cached(q, defs, &pool, opts, &budget)?;
+    let rel = refine_worklist(Variant::WeakLabelled, &g1, &g2);
     Ok(weak_plus_dir(&g1, 0, &g2, 0, RelView::new(&rel.rel, false))
         && weak_plus_dir(&g2, 0, &g1, 0, RelView::new(&rel.rel, true)))
 }
@@ -188,7 +189,10 @@ mod tests {
         let [a, b, c, x] = names(["a", "b", "c", "x"]);
         let pa = inp_(a, [x]);
         let pb = inp_(b, [x]);
-        assert!(strong_bisimilar(&pa, &pb, &defs), "a ~ b (inputs invisible)");
+        assert!(
+            strong_bisimilar(&pa, &pb, &defs),
+            "a ~ b (inputs invisible)"
+        );
         let pac = sum(pa.clone(), out_(c, []));
         let pbc = sum(pb.clone(), out_(c, []));
         assert!(

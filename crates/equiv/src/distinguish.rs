@@ -16,11 +16,12 @@
 //! residuals; recursing on the best witness yields a finite experiment,
 //! whose depth is bounded by the number of refinement rounds.
 
-use crate::bisim::{refine, Variant};
+use crate::bisim::{refine_worklist, Variant};
 use crate::graph::{shared_pool, Graph, Opts};
 use bpi_core::action::Action;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, P};
+use bpi_semantics::budget::Budget;
 use std::fmt;
 
 /// A distinguishing experiment: evidence that the *left* process can do
@@ -120,14 +121,23 @@ pub fn try_explain(
     opts: Opts,
 ) -> Result<Option<Distinction>, bpi_semantics::EngineError> {
     let pool = shared_pool(p, q, opts.fresh_inputs);
-    let g1 = Graph::build(p, defs, &pool, opts)?;
-    let g2 = Graph::build(q, defs, &pool, opts)?;
-    let rel = refine(v, &g1, &g2);
+    let budget = Budget::unlimited();
+    let g1 = Graph::build_cached(p, defs, &pool, opts, &budget)?;
+    let g2 = Graph::build_cached(q, defs, &pool, opts, &budget)?;
+    let rel = refine_worklist(v, &g1, &g2);
     if rel.holds(0, 0) {
         return Ok(None);
     }
     let mut depth_budget = g1.len() * g2.len() + 2;
-    Ok(Some(explain_pair(v, &g1, 0, &g2, 0, &rel.rel, &mut depth_budget)))
+    Ok(Some(explain_pair(
+        v,
+        &g1,
+        0,
+        &g2,
+        0,
+        &rel.rel,
+        &mut depth_budget,
+    )))
 }
 
 fn related(rel: &[Vec<bool>], i: usize, j: usize) -> bool {
@@ -259,20 +269,18 @@ fn dir_explain(
 fn opponent_answers(v: Variant, gb: &Graph, j: usize, act: &Action) -> Vec<usize> {
     match v {
         Variant::StrongBarbed => gb.tau_succs(j).collect(),
-        Variant::WeakBarbed => gb.tau_closure(j).into_iter().collect(),
+        Variant::WeakBarbed => gb.tau_closure(j).iter().copied().collect(),
         Variant::StrongStep => gb.step_edges(j).map(|(_, k)| k).collect(),
-        Variant::WeakStep => gb.step_closure(j).into_iter().collect(),
+        Variant::WeakStep => gb.step_closure(j).iter().copied().collect(),
         Variant::StrongLabelled => match act {
             Action::Tau => gb.tau_succs(j).collect(),
-            Action::Output { .. } => gb
-                .edges[j]
+            Action::Output { .. } => gb.edges[j]
                 .iter()
                 .filter(|(b, _)| b == act)
                 .map(|(_, k)| *k)
                 .collect(),
             Action::Input { chan, .. } => {
-                let mut out: Vec<usize> = gb
-                    .edges[j]
+                let mut out: Vec<usize> = gb.edges[j]
                     .iter()
                     .filter(|(b, _)| b == act)
                     .map(|(_, k)| *k)
@@ -285,11 +293,12 @@ fn opponent_answers(v: Variant, gb: &Graph, j: usize, act: &Action) -> Vec<usize
             Action::Discard { .. } => vec![j],
         },
         Variant::WeakLabelled => match act {
-            Action::Tau => gb.tau_closure(j).into_iter().collect(),
-            Action::Output { .. } => gb.weak_label(j, act).into_iter().collect(),
+            Action::Tau => gb.tau_closure(j).iter().copied().collect(),
+            Action::Output { .. } => gb.weak_label(j, act).iter().copied().collect(),
             Action::Input { chan, .. } => {
-                let mut s = gb.weak_label(j, act);
-                s.extend(gb.weak_discard(j, *chan));
+                let mut s: std::collections::BTreeSet<usize> =
+                    gb.weak_label(j, act).iter().copied().collect();
+                s.extend(gb.weak_discard(j, *chan).iter().copied());
                 s.into_iter().collect()
             }
             Action::Discard { .. } => vec![j],

@@ -20,13 +20,16 @@
 //! can form the `a(b)?` "input-or-discard" move sets of the paper.
 
 use bpi_core::action::Action;
-use bpi_core::canon::canon;
 use bpi_core::name::{Name, NameSet};
 use bpi_core::subst::Subst;
 use bpi_core::syntax::{Defs, P};
+use bpi_core::Consed;
 use bpi_semantics::budget::{Budget, EngineError};
 use bpi_semantics::lts::{tuples, Lts};
+use bpi_semantics::{input_transitions_cached, normalize_state_cached, step_transitions_cached};
+use parking_lot::RwLock;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, LazyLock, OnceLock};
 
 /// Options for graph construction and bisimulation checking.
 #[derive(Clone, Copy, Debug)]
@@ -54,12 +57,51 @@ pub struct Graph {
     /// α-canonical state representatives; index 0 is the seed.
     pub states: Vec<P>,
     /// Outgoing `τ`/output/input edges (no discard edges; see
-    /// [`Graph::discards`]).
+    /// [`Graph::state_discards`]).
     pub edges: Vec<Vec<(Action, usize)>>,
     /// Per state, the pool channels it discards.
     pub discarding: Vec<NameSet>,
     /// The global input pool used during construction.
     pub pool: Vec<Name>,
+    /// Lazily filled per-state query caches (closures, barbs, weak move
+    /// sets); the fixpoint checkers hit the same states thousands of
+    /// times.
+    caches: GraphCaches,
+}
+
+/// Interior-mutability caches for the per-state derived queries. Every
+/// entry is a pure function of the (immutable) edge structure, so a
+/// cached value is valid for the graph's whole lifetime.
+type CachedSet = OnceLock<Arc<BTreeSet<usize>>>;
+type KeyedSets<K> = RwLock<HashMap<K, Arc<BTreeSet<usize>>>>;
+type KeyedLabels = RwLock<HashMap<(usize, Name), Arc<BTreeSet<Action>>>>;
+
+struct GraphCaches {
+    tau_closure: Vec<CachedSet>,
+    step_closure: Vec<CachedSet>,
+    strong_barbs: Vec<OnceLock<NameSet>>,
+    weak_barbs: Vec<OnceLock<NameSet>>,
+    weak_step_barbs: Vec<OnceLock<NameSet>>,
+    weak_label: KeyedSets<(usize, Action)>,
+    weak_discard: KeyedSets<(usize, Name)>,
+    weak_input_labels: KeyedLabels,
+    arities_on: KeyedSets<Name>,
+}
+
+impl GraphCaches {
+    fn new(n: usize) -> GraphCaches {
+        GraphCaches {
+            tau_closure: (0..n).map(|_| OnceLock::new()).collect(),
+            step_closure: (0..n).map(|_| OnceLock::new()).collect(),
+            strong_barbs: (0..n).map(|_| OnceLock::new()).collect(),
+            weak_barbs: (0..n).map(|_| OnceLock::new()).collect(),
+            weak_step_barbs: (0..n).map(|_| OnceLock::new()).collect(),
+            weak_label: RwLock::new(HashMap::new()),
+            weak_discard: RwLock::new(HashMap::new()),
+            weak_input_labels: RwLock::new(HashMap::new()),
+            arities_on: RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 /// Picks `k` fresh input representatives `#w0, #w1, …` avoiding `avoid`.
@@ -67,7 +109,7 @@ pub fn fresh_pool_names(k: usize, avoid: &NameSet) -> Vec<Name> {
     let mut out = Vec::with_capacity(k);
     let mut i = 0usize;
     while out.len() < k {
-        let n = Name::intern_raw(&format!("#w{i}"));
+        let n = Name::pool_rep(i);
         if !avoid.contains(n) {
             out.push(n);
         }
@@ -117,7 +159,7 @@ pub fn normalize_bound_output(act: Action, cont: P, avoid: &NameSet) -> (Action,
     let mut i = 0usize;
     for b in &bound {
         let rep = loop {
-            let cand = Name::intern_raw(&format!("#b{i}"));
+            let cand = Name::bound_rep(i);
             i += 1;
             if !used.contains(cand) {
                 break cand;
@@ -137,6 +179,15 @@ pub fn normalize_bound_output(act: Action, cont: P, avoid: &NameSet) -> (Action,
         subst.apply_process(&cont),
     )
 }
+
+/// Global memo of completed graph builds, keyed by
+/// *(consed seed, defs generation, pool)*. The `Consed` handle in the key
+/// pins the term's interned identity (see `bpi_core::store`). Cleared
+/// wholesale on overflow — correctness never depends on a hit.
+type GraphKey = (Consed, u64, Vec<Name>);
+static GRAPH_MEMO: LazyLock<RwLock<HashMap<GraphKey, Arc<Graph>>>> =
+    LazyLock::new(|| RwLock::new(HashMap::new()));
+const GRAPH_MEMO_CAP: usize = 1 << 12;
 
 impl Graph {
     /// Builds the reachable graph of `seed` over `pool`. `Err` — never a
@@ -159,21 +210,24 @@ impl Graph {
         let lts = Lts::new(defs);
         let pool_set = NameSet::from_iter(pool.iter().copied());
         let cap = opts.max_states.min(budget.max_states());
-        // Flat binary keys: memcmp instead of tree hashing.
-        let mut index: HashMap<bytes::Bytes, usize> = HashMap::new();
+        // Consed keys: visited checks are an O(1) id probe, and the
+        // handle pins the class so the id stays stable for the build.
+        // (The cell's interior OnceLocks never feed Hash/Eq.)
+        #[allow(clippy::mutable_key_type)]
+        let mut index: HashMap<Consed, usize> = HashMap::new();
         let mut states = Vec::new();
         let mut edges: Vec<Vec<(Action, usize)>> = Vec::new();
         let mut discarding = Vec::new();
 
-        let s0 = canon(&bpi_core::prune(seed));
-        index.insert(bpi_core::encode(&s0), 0);
+        let s0 = normalize_state_cached(seed, None);
+        index.insert(bpi_core::cons(&s0), 0);
         states.push(s0);
         let mut work = vec![0usize];
 
         while let Some(i) = work.pop() {
             budget.check(0)?;
             let src = states[i].clone();
-            let src_free = src.free_names();
+            let src_free = bpi_core::cached_free_names(&src);
             // Dynamic pool: global pool plus extruded representatives that
             // became free in this state (so later inputs can mention them).
             let mut dyn_pool = pool.to_vec();
@@ -186,14 +240,14 @@ impl Graph {
 
             let mut out = Vec::new();
             let push = |act: Action,
-                            cont: P,
-                            states: &mut Vec<P>,
-                            index: &mut HashMap<bytes::Bytes, usize>,
-                            work: &mut Vec<usize>,
-                            out: &mut Vec<(Action, usize)>|
+                        cont: P,
+                        states: &mut Vec<P>,
+                        index: &mut HashMap<Consed, usize>,
+                        work: &mut Vec<usize>,
+                        out: &mut Vec<(Action, usize)>|
              -> Result<(), EngineError> {
-                let state = canon(&bpi_core::prune(&cont));
-                let key = bpi_core::encode(&state);
+                let state = normalize_state_cached(&cont, None);
+                let key = bpi_core::cons(&state);
                 let j = match index.get(&key) {
                     Some(&j) => j,
                     None => {
@@ -211,12 +265,19 @@ impl Graph {
                 Ok(())
             };
 
-            for (act, cont) in lts.step_transitions(&src) {
-                let (act, cont) = normalize_bound_output(act, cont, &avoid);
+            for (act, cont) in step_transitions_cached(&lts, &src).iter() {
+                let (act, cont) = normalize_bound_output(act.clone(), cont.clone(), &avoid);
                 push(act, cont, &mut states, &mut index, &mut work, &mut out)?;
             }
-            for (act, cont) in lts.input_transitions(&src, &dyn_pool) {
-                push(act, cont, &mut states, &mut index, &mut work, &mut out)?;
+            for (act, cont) in input_transitions_cached(&lts, &src, &dyn_pool).iter() {
+                push(
+                    act.clone(),
+                    cont.clone(),
+                    &mut states,
+                    &mut index,
+                    &mut work,
+                    &mut out,
+                )?;
             }
             let mut disc = NameSet::new();
             for &a in &dyn_pool {
@@ -237,12 +298,49 @@ impl Graph {
             edges.push(Vec::new());
             discarding.push(NameSet::new());
         }
+        let caches = GraphCaches::new(states.len());
         Ok(Graph {
             states,
             edges,
             discarding,
             pool: pool.to_vec(),
+            caches,
         })
+    }
+
+    /// [`Graph::build_with_budget`] through a global memo keyed by
+    /// *(consed seed, defs generation, pool)*: the six bisimulation
+    /// variants, the congruence layer, distinguishing-formula extraction
+    /// and the modal logic all rebuild the same graphs, and a completed
+    /// build is a pure function of that key.
+    ///
+    /// Budget semantics are replayed exactly: a memoized graph is always
+    /// *complete*, so the original build would have failed iff the graph
+    /// needs more states than the effective ceiling allows — in which
+    /// case the same typed error is returned without rebuilding.
+    pub fn build_cached(
+        seed: &P,
+        defs: &Defs,
+        pool: &[Name],
+        opts: Opts,
+        budget: &Budget,
+    ) -> Result<Arc<Graph>, EngineError> {
+        budget.check(0)?;
+        let cap = opts.max_states.min(budget.max_states());
+        let key = (bpi_core::cons(seed), defs.generation(), pool.to_vec());
+        if let Some(g) = GRAPH_MEMO.read().get(&key) {
+            if g.len() > cap {
+                return Err(EngineError::StateBudgetExceeded { limit: cap });
+            }
+            return Ok(g.clone());
+        }
+        let g = Arc::new(Graph::build_with_budget(seed, defs, pool, opts, budget)?);
+        let mut memo = GRAPH_MEMO.write();
+        if memo.len() >= GRAPH_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, g.clone());
+        Ok(g)
     }
 
     /// Number of states.
@@ -291,14 +389,19 @@ impl Graph {
         self.discarding[i].contains(a)
     }
 
-    /// τ-closure of `i` (including `i`), as a sorted set.
-    pub fn tau_closure(&self, i: usize) -> BTreeSet<usize> {
-        self.closure(i, |a| matches!(a, Action::Tau))
+    /// τ-closure of `i` (including `i`), as a sorted set. Computed once
+    /// per state and shared.
+    pub fn tau_closure(&self, i: usize) -> Arc<BTreeSet<usize>> {
+        self.caches.tau_closure[i]
+            .get_or_init(|| Arc::new(self.closure(i, |a| matches!(a, Action::Tau))))
+            .clone()
     }
 
-    /// Step-closure of `i` (τ and outputs), including `i`.
-    pub fn step_closure(&self, i: usize) -> BTreeSet<usize> {
-        self.closure(i, |a| a.is_step_move())
+    /// Step-closure of `i` (τ and outputs), including `i`. Cached.
+    pub fn step_closure(&self, i: usize) -> Arc<BTreeSet<usize>> {
+        self.caches.step_closure[i]
+            .get_or_init(|| Arc::new(self.closure(i, |a| a.is_step_move())))
+            .clone()
     }
 
     fn closure(&self, i: usize, keep: impl Fn(&Action) -> bool) -> BTreeSet<usize> {
@@ -314,70 +417,106 @@ impl Graph {
         seen
     }
 
-    /// Strong barbs of state `i`: subjects of its output edges.
+    /// Strong barbs of state `i`: subjects of its output edges. Cached.
     pub fn strong_barbs(&self, i: usize) -> NameSet {
-        NameSet::from_iter(self.out_edges(i).filter_map(|(a, _)| a.subject()))
+        self.caches.strong_barbs[i]
+            .get_or_init(|| NameSet::from_iter(self.out_edges(i).filter_map(|(a, _)| a.subject())))
+            .clone()
     }
 
-    /// Weak barbs of state `i`.
+    /// Weak barbs of state `i`. Cached.
     pub fn weak_barbs(&self, i: usize) -> NameSet {
-        let mut s = NameSet::new();
-        for j in self.tau_closure(i) {
-            s.extend(&self.strong_barbs(j));
-        }
-        s
+        self.caches.weak_barbs[i]
+            .get_or_init(|| {
+                let mut s = NameSet::new();
+                for &j in self.tau_closure(i).iter() {
+                    s.extend(&self.strong_barbs(j));
+                }
+                s
+            })
+            .clone()
     }
 
-    /// Weak step-barbs of state `i` (`⇓ₐ^φ`).
+    /// Weak step-barbs of state `i` (`⇓ₐ^φ`). Cached.
     pub fn weak_step_barbs(&self, i: usize) -> NameSet {
-        let mut s = NameSet::new();
-        for j in self.step_closure(i) {
-            s.extend(&self.strong_barbs(j));
-        }
-        s
+        self.caches.weak_step_barbs[i]
+            .get_or_init(|| {
+                let mut s = NameSet::new();
+                for &j in self.step_closure(i).iter() {
+                    s.extend(&self.strong_barbs(j));
+                }
+                s
+            })
+            .clone()
     }
 
-    /// Weak moves `i ⇒ —α→ ⇒` for a specific non-τ label.
-    pub fn weak_label(&self, i: usize, label: &Action) -> BTreeSet<usize> {
+    /// Weak moves `i ⇒ —α→ ⇒` for a specific non-τ label. Cached per
+    /// *(state, label)*.
+    pub fn weak_label(&self, i: usize, label: &Action) -> Arc<BTreeSet<usize>> {
+        let key = (i, label.clone());
+        if let Some(v) = self.caches.weak_label.read().get(&key) {
+            return v.clone();
+        }
         let mut out = BTreeSet::new();
-        for j in self.tau_closure(i) {
+        for &j in self.tau_closure(i).iter() {
             for (a, k) in &self.edges[j] {
                 if a == label {
-                    out.extend(self.tau_closure(*k));
+                    out.extend(self.tau_closure(*k).iter().copied());
                 }
             }
         }
-        out
+        let v = Arc::new(out);
+        self.caches.weak_label.write().insert(key, v.clone());
+        v
     }
 
     /// Weak discard set: states `j'` with `i ⇒ j₁ —a:→ j₁ ⇒ j'` — i.e.
     /// τ-reachable continuations of τ-reachable states that discard `a`.
-    pub fn weak_discard(&self, i: usize, a: Name) -> BTreeSet<usize> {
+    /// Cached per *(state, channel)*.
+    pub fn weak_discard(&self, i: usize, a: Name) -> Arc<BTreeSet<usize>> {
+        if let Some(v) = self.caches.weak_discard.read().get(&(i, a)) {
+            return v.clone();
+        }
         let mut out = BTreeSet::new();
-        for j in self.tau_closure(i) {
+        for &j in self.tau_closure(i).iter() {
             if self.state_discards(j, a) {
-                out.extend(self.tau_closure(j));
+                out.extend(self.tau_closure(j).iter().copied());
             }
         }
-        out
+        let v = Arc::new(out);
+        self.caches.weak_discard.write().insert((i, a), v.clone());
+        v
     }
 
     /// All input labels on channel `a` reachable in the τ-closure of `i`
-    /// (used when matching discard moves weakly).
-    pub fn weak_input_labels(&self, i: usize, a: Name) -> BTreeSet<Action> {
+    /// (used when matching discard moves weakly). Cached per
+    /// *(state, channel)*.
+    pub fn weak_input_labels(&self, i: usize, a: Name) -> Arc<BTreeSet<Action>> {
+        if let Some(v) = self.caches.weak_input_labels.read().get(&(i, a)) {
+            return v.clone();
+        }
         let mut out = BTreeSet::new();
-        for j in self.tau_closure(i) {
+        for &j in self.tau_closure(i).iter() {
             for (act, _) in self.input_edges(j) {
                 if act.subject() == Some(a) {
                     out.insert(act.clone());
                 }
             }
         }
-        out
+        let v = Arc::new(out);
+        self.caches
+            .weak_input_labels
+            .write()
+            .insert((i, a), v.clone());
+        v
     }
 
     /// The arities at which any state of the graph listens on `a`.
-    pub fn arities_on(&self, a: Name) -> BTreeSet<usize> {
+    /// Cached per channel (the uncached scan walks every edge).
+    pub fn arities_on(&self, a: Name) -> Arc<BTreeSet<usize>> {
+        if let Some(v) = self.caches.arities_on.read().get(&a) {
+            return v.clone();
+        }
         let mut out = BTreeSet::new();
         for es in &self.edges {
             for (act, _) in es {
@@ -386,7 +525,9 @@ impl Graph {
                 }
             }
         }
-        out
+        let v = Arc::new(out);
+        self.caches.arities_on.write().insert(a, v.clone());
+        v
     }
 }
 
@@ -518,9 +659,7 @@ mod tests {
         assert_eq!(subs.len(), 5, "Bell(3) = 5");
         assert!(subs.iter().any(|s| s.is_identity()));
         // The all-identified substitution maps b and c to a.
-        assert!(subs
-            .iter()
-            .any(|s| s.apply(b) == a && s.apply(c) == a));
+        assert!(subs.iter().any(|s| s.apply(b) == a && s.apply(c) == a));
     }
 
     #[test]
@@ -546,14 +685,10 @@ mod tests {
         );
         // A generous ceiling on a finite system still succeeds.
         let q = out_(a, []);
-        assert!(Graph::build_with_budget(
-            &q,
-            &defs,
-            &pool,
-            Opts::default(),
-            &Budget::states(100)
-        )
-        .is_ok());
+        assert!(
+            Graph::build_with_budget(&q, &defs, &pool, Opts::default(), &Budget::states(100))
+                .is_ok()
+        );
     }
 
     #[test]

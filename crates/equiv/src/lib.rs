@@ -16,10 +16,10 @@
 //!   the sampled experiments.
 
 pub mod arbitrary;
-pub mod distinguish;
 pub mod bisim;
 pub mod congruence;
 pub mod contexts;
+pub mod distinguish;
 pub mod graph;
 pub mod logic;
 pub mod sensors;
@@ -27,8 +27,9 @@ pub mod testing;
 pub mod upto;
 
 pub use bisim::{
-    all_variants, strong_barbed_bisimilar, strong_bisimilar, strong_step_bisimilar,
-    weak_barbed_bisimilar, weak_bisimilar, weak_step_bisimilar, Checker, Variant, Verdict,
+    all_variants, refine, refine_worklist, strong_barbed_bisimilar, strong_bisimilar,
+    strong_step_bisimilar, weak_barbed_bisimilar, weak_bisimilar, weak_step_bisimilar, Checker,
+    PairRelation, Variant, Verdict,
 };
 pub use congruence::{
     congruent_strong, congruent_weak, sim_plus, try_congruent_strong, try_congruent_weak,

@@ -41,6 +41,7 @@ pub enum Formula {
 }
 
 impl Formula {
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -96,15 +97,13 @@ pub fn sat(g: &Graph, i: usize, f: &Formula) -> bool {
 /// (input-or-discard).
 fn successors(g: &Graph, i: usize, act: &Action) -> Vec<usize> {
     match act {
-        Action::Tau | Action::Output { .. } => g
-            .edges[i]
+        Action::Tau | Action::Output { .. } => g.edges[i]
             .iter()
             .filter(|(b, _)| b == act)
             .map(|(_, j)| *j)
             .collect(),
         Action::Input { chan, .. } => {
-            let mut out: Vec<usize> = g
-                .edges[i]
+            let mut out: Vec<usize> = g.edges[i]
                 .iter()
                 .filter(|(b, _)| b == act)
                 .map(|(_, j)| *j)
@@ -154,7 +153,7 @@ pub fn try_satisfies(
         v.extend(fresh);
         v
     };
-    let g = Graph::build(p, defs, &pool, opts)?;
+    let g = Graph::build_cached(p, defs, &pool, opts, &bpi_semantics::Budget::unlimited())?;
     Ok(sat(&g, 0, f))
 }
 
@@ -230,10 +229,7 @@ mod tests {
         let [a, b] = names(["a", "b"]);
         let p = out(a, [], out_(b, []));
         let barb_a = Formula::Barb(a);
-        let after_a_barb_b = Formula::diamond(
-            Action::free_output(a, vec![]),
-            Formula::Barb(b),
-        );
+        let after_a_barb_b = Formula::diamond(Action::free_output(a, vec![]), Formula::Barb(b));
         assert!(satisfies(&p, &barb_a, &defs, Opts::default()));
         assert!(satisfies(&p, &after_a_barb_b, &defs, Opts::default()));
         assert!(!satisfies(&p, &Formula::Barb(b), &defs, Opts::default()));
@@ -253,11 +249,26 @@ mod tests {
                 f,
             )
         };
-        assert!(satisfies(&nil(), &inp_mod(Formula::True), &defs, Opts::default()));
-        assert!(!satisfies(&nil(), &inp_mod(Formula::Barb(b)), &defs, Opts::default()));
+        assert!(satisfies(
+            &nil(),
+            &inp_mod(Formula::True),
+            &defs,
+            Opts::default()
+        ));
+        assert!(!satisfies(
+            &nil(),
+            &inp_mod(Formula::Barb(b)),
+            &defs,
+            Opts::default()
+        ));
         // a(x).b̄ satisfies ⟨a(v)?⟩↓b.
         let p = inp(a, [Name::intern_raw("lx")], out_(b, []));
-        assert!(satisfies(&p, &inp_mod(Formula::Barb(b)), &defs, Opts::default()));
+        assert!(satisfies(
+            &p,
+            &inp_mod(Formula::Barb(b)),
+            &defs,
+            Opts::default()
+        ));
     }
 
     #[test]

@@ -61,7 +61,13 @@ fn mirror_of(n: Name, mirrors: &[(Name, Name)]) -> Name {
 
 /// Builds `GSensor_m` over the known names `h` with reserve mirrors for
 /// up to `m` learned names.
-fn gsensor(h: &[Name], mirrors: &[(Name, Name)], reserves: &[Name], b: &SensorBarbs, m: usize) -> P {
+fn gsensor(
+    h: &[Name],
+    mirrors: &[(Name, Name)],
+    reserves: &[Name],
+    b: &SensorBarbs,
+    m: usize,
+) -> P {
     if m == 0 {
         return nil();
     }
@@ -72,7 +78,11 @@ fn gsensor(h: &[Name], mirrors: &[(Name, Name)], reserves: &[Name], b: &SensorBa
     for &a in h {
         for &v in h {
             let continue_game = tau(gsensor(h, mirrors, reserves, b, m - 1));
-            let report = tau(w_gadget(mirror_of(a, mirrors), mirror_of(v, mirrors), b.tag_in));
+            let report = tau(w_gadget(
+                mirror_of(a, mirrors),
+                mirror_of(v, mirrors),
+                b.tag_in,
+            ));
             summands.push(out(a, [v], sum(continue_game, report)));
         }
     }
@@ -99,7 +109,11 @@ fn gsensor(h: &[Name], mirrors: &[(Name, Name)], reserves: &[Name], b: &SensorBa
                 k,
                 sum(
                     tau(gsensor(h, mirrors, reserves, b, m - 1)),
-                    tau(w_gadget(mirror_of(a, mirrors), mirror_of(k, mirrors), b.tag_out)),
+                    tau(w_gadget(
+                        mirror_of(a, mirrors),
+                        mirror_of(k, mirrors),
+                        b.tag_out,
+                    )),
                 ),
                 case,
             );
@@ -196,7 +210,10 @@ mod tests {
         let [a, b, c, x] = names(["a", "b", "c", "x"]);
         let p = inp(a, [x], mat_(x, b, out_(c, [x])));
         let q = inp_(a, [x]);
-        assert!(!sensors_separate(&p, &q, &d(), 1, opts()), "depth 1 is blind");
+        assert!(
+            !sensors_separate(&p, &q, &d(), 1, opts()),
+            "depth 1 is blind"
+        );
         assert!(sensors_separate(&p, &q, &d(), 2, opts()), "depth 2 sees it");
     }
 

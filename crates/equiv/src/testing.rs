@@ -201,10 +201,7 @@ pub fn may_equivalent_sampled(
 ) -> Result<(), Test> {
     let fns = p.free_names().union(&q.free_names());
     for t in random_tests(&fns, count, seed) {
-        let (rp, rq) = (
-            may_pass(p, &t, defs, 30_000),
-            may_pass(q, &t, defs, 30_000),
-        );
+        let (rp, rq) = (may_pass(p, &t, defs, 30_000), may_pass(q, &t, defs, 30_000));
         if let (Some(a), Some(b)) = (rp, rq) {
             if a != b {
                 return Err(t);

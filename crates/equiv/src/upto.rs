@@ -57,11 +57,12 @@ pub fn check_bisimulation_upto(pairs: &[(P, P)], defs: &Defs, opts: Opts) -> Upt
     for (p, q) in pairs {
         // Build both graphs over the shared pool, inspect one step.
         let pool = shared_pool(p, q, opts.fresh_inputs);
-        let gp = match Graph::build(p, defs, &pool, opts) {
+        let budget = bpi_semantics::Budget::unlimited();
+        let gp = match Graph::build_cached(p, defs, &pool, opts, &budget) {
             Ok(g) => g,
             Err(e) => return UptoVerdict::Inconclusive(e),
         };
-        let gq = match Graph::build(q, defs, &pool, opts) {
+        let gq = match Graph::build_cached(q, defs, &pool, opts, &budget) {
             Ok(g) => g,
             Err(e) => return UptoVerdict::Inconclusive(e),
         };
@@ -104,8 +105,7 @@ pub fn check_bisimulation_upto(pairs: &[(P, P)], defs: &Defs, opts: Opts) -> Upt
                     };
                 }
                 for lab in labels {
-                    let ok = gb
-                        .edges[0]
+                    let ok = gb.edges[0]
                         .iter()
                         .filter(|(l, _)| *l == lab)
                         .any(|(_, j2)| {
@@ -135,15 +135,13 @@ pub fn check_bisimulation_upto(pairs: &[(P, P)], defs: &Defs, opts: Opts) -> Upt
 fn answers_for(gb: &Graph, act: &Action) -> Vec<usize> {
     match act {
         Action::Tau => gb.tau_succs(0).collect(),
-        Action::Output { .. } => gb
-            .edges[0]
+        Action::Output { .. } => gb.edges[0]
             .iter()
             .filter(|(b, _)| b == act)
             .map(|(_, k)| *k)
             .collect(),
         Action::Input { chan, .. } => {
-            let mut out: Vec<usize> = gb
-                .edges[0]
+            let mut out: Vec<usize> = gb.edges[0]
                 .iter()
                 .filter(|(b, _)| b == act)
                 .map(|(_, k)| *k)
@@ -191,7 +189,7 @@ mod tests {
         // bisimulation up-to ~. We instantiate the schema at a few
         // representative points.
         let [a, b, x] = names(["a", "b", "x"]);
-        let ps = vec![
+        let ps = [
             out(a, [b], nil()),
             inp(a, [x], out_(x, [])),
             sum(tau_(), out_(b, [])),
@@ -230,11 +228,8 @@ mod tests {
     fn s8_vacuous_restriction_relation() {
         // S⁸ = {(νx p, p) | x ∉ fn(p)}.
         let [a, b, x] = names(["a", "b", "x"]);
-        let ps = vec![out(a, [b], nil()), tau(out_(b, []))];
-        let pairs: Vec<_> = ps
-            .iter()
-            .map(|p| (new(x, p.clone()), p.clone()))
-            .collect();
+        let ps = [out(a, [b], nil()), tau(out_(b, []))];
+        let pairs: Vec<_> = ps.iter().map(|p| (new(x, p.clone()), p.clone())).collect();
         assert!(check_bisimulation_upto(&pairs, &d(), Opts::default()).is_valid());
     }
 
@@ -258,10 +253,7 @@ mod tests {
         // reachable only through the ~-flanks.
         let [a, b] = names(["a", "b"]);
         let p = out_(b, []);
-        let pairs = vec![(
-            out(a, [], par(p.clone(), nil())),
-            out(a, [], p.clone()),
-        )];
+        let pairs = vec![(out(a, [], par(p.clone(), nil())), out(a, [], p.clone()))];
         // Residual pair (p ‖ nil, p) ∉ S, but p‖nil ~ p, so the up-to
         // closure covers it via the identity-through-~ case.
         assert!(check_bisimulation_upto(&pairs, &d(), Opts::default()).is_valid());

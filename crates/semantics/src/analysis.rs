@@ -131,8 +131,7 @@ pub fn analyse(g: &StateGraph) -> Analysis {
     let mut divergent = Vec::new();
     let mut cyclic_sccs = 0usize;
     for comp in &sccs {
-        let cyclic = comp.len() > 1
-            || tau_adj[comp[0]].contains(&comp[0]);
+        let cyclic = comp.len() > 1 || tau_adj[comp[0]].contains(&comp[0]);
         if cyclic {
             cyclic_sccs += 1;
             divergent.extend(comp.iter().copied());
@@ -229,13 +228,7 @@ mod tests {
         // cycles.
         let defs = Defs::new();
         let [go, done] = names(["go", "done"]);
-        let p = new(
-            go,
-            par(
-                out(go, [], out_(done, [])),
-                inp(go, [], nil()),
-            ),
-        );
+        let p = new(go, par(out(go, [], out_(done, [])), inp(go, [], nil())));
         let g = explore(&p, &defs, ExploreOpts::default());
         assert!(!analyse(&g).may_diverge());
     }

@@ -1,0 +1,172 @@
+//! Memoized semantic derivations.
+//!
+//! Transition derivation (`Lts::step_transitions`), pool-instantiated
+//! input derivation, and state normalisation are pure functions of
+//! *(term, definition environment)* — and exploration, weak closures and
+//! bisimulation graphs call them over and over on the same terms. This
+//! module memoizes them globally, keyed by the hash-consed
+//! [`TermId`](bpi_core::TermId) of the term and the
+//! [`Defs::generation`](bpi_core::syntax::Defs::generation) stamp, so a
+//! definition update invalidates exactly the entries it could affect.
+//!
+//! **Soundness of replaying fresh names.** Scope extrusion (rule (5) of
+//! Table 3) mints a globally fresh name per derivation. A memoized entry
+//! replays the successors minted on first derivation instead of minting
+//! again. This is sound: the replayed successors are valid transitions of
+//! the *same* source term (freshness only has to hold against the names
+//! of that term and its observers, which is invariant), all consumers
+//! quotient states by α-equivalence or extruded-name normalisation before
+//! comparing, and the `~` namespace is reserved so replayed names can
+//! never collide with user names.
+//!
+//! Caches are append-only with a size cap; overflowing clears the map
+//! (correctness never depends on a hit).
+
+use crate::lts::Lts;
+use bpi_core::action::Action;
+use bpi_core::name::{Name, NameSet};
+use bpi_core::syntax::P;
+use bpi_core::Consed;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, LazyLock};
+
+/// Entries per cache before it is wholesale cleared.
+const CACHE_CAP: usize = 1 << 20;
+
+// Keys hold the `Consed` handle, not the bare `TermId`: the handle pins
+// the interner's weak entry, so the class id stays stable for as long as
+// the memo entry lives (a bare id could die with its cell and a later
+// cons of an equal term would mint a fresh id, turning every lookup into
+// a miss).
+type StepKey = (Consed, u64);
+type InputKey = (Consed, u64, Vec<Name>);
+type NormKey = (Consed, Option<NameSet>);
+
+type TransMemo<K> = RwLock<HashMap<K, Arc<Vec<(Action, P)>>>>;
+
+static STEP_MEMO: LazyLock<TransMemo<StepKey>> = LazyLock::new(|| RwLock::new(HashMap::new()));
+static INPUT_MEMO: LazyLock<TransMemo<InputKey>> = LazyLock::new(|| RwLock::new(HashMap::new()));
+static NORM_MEMO: LazyLock<RwLock<HashMap<NormKey, P>>> =
+    LazyLock::new(|| RwLock::new(HashMap::new()));
+
+fn insert_capped<K: std::hash::Hash + Eq, V>(map: &RwLock<HashMap<K, V>>, k: K, v: V) {
+    let mut g = map.write();
+    if g.len() >= CACHE_CAP {
+        g.clear();
+    }
+    g.insert(k, v);
+}
+
+/// `lts.step_transitions(p)`, derived once per (term, defs generation).
+///
+/// The returned successor allocations are shared across calls, so
+/// downstream per-allocation caches (consing's pointer fast path, the
+/// normalisation memo) hit on every revisit.
+pub fn step_transitions_cached(lts: &Lts<'_>, p: &P) -> Arc<Vec<(Action, P)>> {
+    let key = (bpi_core::cons(p), lts.defs.generation());
+    if let Some(v) = STEP_MEMO.read().get(&key) {
+        return v.clone();
+    }
+    let v = Arc::new(lts.step_transitions(p));
+    insert_capped(&STEP_MEMO, key, v.clone());
+    v
+}
+
+/// `lts.input_transitions(p, pool)`, memoized per (term, defs generation,
+/// pool).
+pub fn input_transitions_cached(lts: &Lts<'_>, p: &P, pool: &[Name]) -> Arc<Vec<(Action, P)>> {
+    let key = (bpi_core::cons(p), lts.defs.generation(), pool.to_vec());
+    if let Some(v) = INPUT_MEMO.read().get(&key) {
+        return v.clone();
+    }
+    let v = Arc::new(lts.input_transitions(p, pool));
+    insert_capped(&INPUT_MEMO, key, v.clone());
+    v
+}
+
+/// [`crate::explore::normalize_state`] memoized per (term, protected
+/// set); `protected = None` memoizes the plain `canon ∘ prune`
+/// normalisation used when extruded-name folding is off.
+///
+/// Because [`step_transitions_cached`] replays the same successor
+/// allocations on every revisit, the consing pointer probe makes repeat
+/// normalisations of a successor O(1).
+pub fn normalize_state_cached(p: &P, protected: Option<&NameSet>) -> P {
+    let key = (bpi_core::cons(p), protected.cloned());
+    if let Some(v) = NORM_MEMO.read().get(&key) {
+        return v.clone();
+    }
+    let v = match protected {
+        Some(prot) => crate::explore::normalize_state(p, prot),
+        None => bpi_core::cached_canon(&bpi_core::prune(p)),
+    };
+    insert_capped(&NORM_MEMO, key, v.clone());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpi_core::builder::*;
+    use bpi_core::syntax::Defs;
+
+    #[test]
+    fn step_memo_agrees_with_fresh_derivation() {
+        let defs = Defs::new();
+        let [a, v, x] = names(["a", "v", "x"]);
+        let p = par(out_(a, [v]), inp(a, [x], out_(x, [])));
+        let lts = Lts::new(&defs);
+        let cached = step_transitions_cached(&lts, &p);
+        let fresh = lts.step_transitions(&p);
+        assert_eq!(cached.len(), fresh.len());
+        for ((ca, cp), (fa, fp)) in cached.iter().zip(&fresh) {
+            assert_eq!(ca, fa);
+            assert!(bpi_core::alpha_eq(cp, fp));
+        }
+        // Second call replays the identical allocations.
+        let again = step_transitions_cached(&lts, &p);
+        assert!(Arc::ptr_eq(&cached, &again));
+    }
+
+    #[test]
+    fn defs_generation_invalidates() {
+        let a = bpi_core::Name::new("a");
+        let id = bpi_core::Ident::new("CacheA");
+        let mut defs = Defs::new();
+        defs.define(id, vec![], out_(a, []));
+        let p = call(id, []);
+        {
+            let lts = Lts::new(&defs);
+            assert_eq!(step_transitions_cached(&lts, &p).len(), 1);
+        }
+        // Redefining bumps the generation: the τ-only body must show
+        // through, not the stale cached output transition.
+        defs.define(id, vec![], tau(nil()));
+        let lts = Lts::new(&defs);
+        let ts = step_transitions_cached(&lts, &p);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].0, Action::Tau);
+    }
+
+    #[test]
+    fn normalize_memo_agrees_with_direct() {
+        let [a, b] = names(["a", "b"]);
+        let p = par(out_(a, [b]), nil());
+        let prot = NameSet::from_iter([a]);
+        assert_eq!(
+            normalize_state_cached(&p, Some(&prot)),
+            crate::explore::normalize_state(&p, &prot)
+        );
+        assert_eq!(
+            normalize_state_cached(&p, None),
+            bpi_core::canon(&bpi_core::prune(&p))
+        );
+        // Distinct protected sets must not collide.
+        let prot2 = NameSet::from_iter([a, b]);
+        assert_eq!(
+            normalize_state_cached(&p, Some(&prot2)),
+            crate::explore::normalize_state(&p, &prot2)
+        );
+    }
+}

@@ -53,7 +53,7 @@ fn discards_at(p: &P, a: Name, defs: &Defs, depth: usize) -> bool {
                 // α-convert the binder away from `a` (rule (5)'s side
                 // condition): under νx with x = a, the bound x is a
                 // different channel from the observed `a`.
-                let f = fresh_name(&x.spelling());
+                let f = fresh_name(x.spelling());
                 let renamed = Subst::single(*x, f).apply_process(inner);
                 discards_at(&renamed, a, defs, depth)
             } else {
@@ -90,12 +90,7 @@ pub fn input_arities(p: &P, defs: &Defs) -> BTreeMap<Name, BTreeSet<usize>> {
     out
 }
 
-fn collect_arities(
-    p: &P,
-    defs: &Defs,
-    depth: usize,
-    out: &mut BTreeMap<Name, BTreeSet<usize>>,
-) {
+fn collect_arities(p: &P, defs: &Defs, depth: usize, out: &mut BTreeMap<Name, BTreeSet<usize>>) {
     unfold_guard(depth, "the listening interface");
     match &**p {
         Process::Nil => {}

@@ -81,7 +81,9 @@ impl StateGraph {
     /// States with no outgoing step transition (terminated or waiting
     /// forever on input).
     pub fn deadlocks(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.edges[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.edges[i].is_empty())
+            .collect()
     }
 
     /// Whether any reachable transition is an output with subject `a` —
@@ -215,7 +217,7 @@ pub fn normalize_state(p: &P, protected: &NameSet) -> P {
     let mut i = 0usize;
     for n in free_names_in_order(p) {
         if !protected.contains(n) {
-            subst.bind(n, Name::intern_raw(&format!("#e{i}")));
+            subst.bind(n, Name::extruded(i));
             i += 1;
         }
     }
@@ -246,23 +248,21 @@ pub fn explore(p: &P, defs: &Defs, opts: ExploreOpts) -> StateGraph {
 pub fn explore_budgeted(p: &P, defs: &Defs, opts: ExploreOpts, budget: &Budget) -> StateGraph {
     let lts = Lts::new(defs);
     let protected = p.free_names();
-    let norm = |q: &P| {
-        if opts.normalize_extruded {
-            normalize_state(q, &protected)
-        } else {
-            canon(&bpi_core::prune(q))
-        }
-    };
+    let prot = opts.normalize_extruded.then_some(&protected);
+    let norm = |q: &P| crate::cache::normalize_state_cached(q, prot);
     let cap = opts.max_states.min(budget.max_states());
-    // Keys are flat binary encodings of the normalised states: hashing
-    // and equality become memcmp instead of tree walks.
-    let mut index: HashMap<bytes::Bytes, usize> = HashMap::new();
+    // Keys are hash-consed term ids of the normalised states: hashing and
+    // equality become O(1) id comparisons instead of tree walks, and
+    // revisited successors hit the interner's pointer fast path. (The
+    // cell's interior OnceLocks never feed Hash/Eq, so the key is stable.)
+    #[allow(clippy::mutable_key_type)]
+    let mut index: HashMap<bpi_core::Consed, usize> = HashMap::new();
     let mut states = Vec::new();
     let mut edges: Vec<Vec<(Action, usize)>> = Vec::new();
     let mut interrupted: Option<EngineError> = None;
 
     let p0 = norm(p);
-    index.insert(bpi_core::encode(&p0), 0);
+    index.insert(bpi_core::cons(&p0), 0);
     states.push(p0);
     edges.push(Vec::new());
     let mut frontier = vec![0usize];
@@ -274,15 +274,14 @@ pub fn explore_budgeted(p: &P, defs: &Defs, opts: ExploreOpts, budget: &Budget) 
         }
         let src = states[i].clone();
         let mut out = Vec::new();
-        for (act, succ) in lts.step_transitions(&src) {
-            let state = norm(&succ);
-            let key = bpi_core::encode(&state);
+        for (act, succ) in crate::cache::step_transitions_cached(&lts, &src).iter() {
+            let state = norm(succ);
+            let key = bpi_core::cons(&state);
             let j = match index.get(&key) {
                 Some(&j) => j,
                 None => {
                     if states.len() >= cap {
-                        interrupted
-                            .get_or_insert(EngineError::StateBudgetExceeded { limit: cap });
+                        interrupted.get_or_insert(EngineError::StateBudgetExceeded { limit: cap });
                         continue;
                     }
                     let j = states.len();
@@ -293,7 +292,7 @@ pub fn explore_budgeted(p: &P, defs: &Defs, opts: ExploreOpts, budget: &Budget) 
                     j
                 }
             };
-            out.push((act, j));
+            out.push((act.clone(), j));
         }
         edges[i] = out;
     }
@@ -348,17 +347,14 @@ pub fn output_reachable_budgeted(
 ) -> Result<bool, EngineError> {
     let lts = Lts::new(defs);
     let protected = p.free_names();
-    let norm = |q: &P| {
-        if opts.normalize_extruded {
-            normalize_state(q, &protected)
-        } else {
-            canon(&bpi_core::prune(q))
-        }
-    };
+    let prot = opts.normalize_extruded.then_some(&protected);
+    let norm = |q: &P| crate::cache::normalize_state_cached(q, prot);
     let cap = opts.max_states.min(budget.max_states());
-    let mut seen: std::collections::HashSet<bytes::Bytes> = std::collections::HashSet::new();
+    // Consed hashes by class id; its interior OnceLocks never feed Hash/Eq.
+    #[allow(clippy::mutable_key_type)]
+    let mut seen: std::collections::HashSet<bpi_core::Consed> = std::collections::HashSet::new();
     let mut work = vec![norm(p)];
-    seen.insert(bpi_core::encode(&work[0]));
+    seen.insert(bpi_core::cons(&work[0]));
     let mut interrupted: Option<EngineError> = None;
     while let Some(q) = work.pop() {
         if let Err(e) = budget.check(0) {
@@ -368,12 +364,12 @@ pub fn output_reachable_budgeted(
             interrupted = Some(e);
             break;
         }
-        for (act, succ) in lts.step_transitions(&q) {
+        for (act, succ) in crate::cache::step_transitions_cached(&lts, &q).iter() {
             if act.is_output() && act.subject() == Some(a) {
                 return Ok(true);
             }
-            let state = norm(&succ);
-            let key = bpi_core::encode(&state);
+            let state = norm(succ);
+            let key = bpi_core::cons(&state);
             if !seen.contains(&key) {
                 if seen.len() >= cap {
                     interrupted.get_or_insert(EngineError::StateBudgetExceeded { limit: cap });
@@ -399,7 +395,7 @@ pub fn explore_parallel(p: &P, defs: &Defs, opts: ExploreOpts, threads: usize) -
 
 /// Shared worker state for the parallel explorer.
 struct ParShared {
-    index: Mutex<HashMap<bytes::Bytes, usize>>,
+    index: Mutex<HashMap<bpi_core::Consed, usize>>,
     states: Mutex<Vec<P>>,
     edges: Mutex<Vec<Vec<(Action, usize)>>>,
     queue: Mutex<Vec<usize>>,
@@ -463,18 +459,13 @@ pub fn explore_parallel_budgeted(
         return explore_budgeted(p, defs, opts, budget);
     }
     let protected = p.free_names();
-    let norm = |q: &P| {
-        if opts.normalize_extruded {
-            normalize_state(q, &protected)
-        } else {
-            canon(&bpi_core::prune(q))
-        }
-    };
+    let prot = opts.normalize_extruded.then_some(&protected);
+    let norm = move |q: &P| crate::cache::normalize_state_cached(q, prot);
     let cap = opts.max_states.min(budget.max_states());
 
     let p0 = norm(p);
     let shared = ParShared {
-        index: Mutex::new(HashMap::from([(bpi_core::encode(&p0), 0usize)])),
+        index: Mutex::new(HashMap::from([(bpi_core::cons(&p0), 0usize)])),
         states: Mutex::new(vec![p0]),
         edges: Mutex::new(vec![Vec::new()]),
         queue: Mutex::new(vec![0usize]),
@@ -520,9 +511,9 @@ pub fn explore_parallel_budgeted(
                     }
                     let src = shared.states.lock()[i].clone();
                     let mut out = Vec::new();
-                    for (act, succ) in lts.step_transitions(&src) {
-                        let state = norm(&succ);
-                        let key = bpi_core::encode(&state);
+                    for (act, succ) in crate::cache::step_transitions_cached(&lts, &src).iter() {
+                        let state = norm(succ);
+                        let key = bpi_core::cons(&state);
                         let j = {
                             let mut index = shared.index.lock();
                             match index.get(&key) {
@@ -530,12 +521,9 @@ pub fn explore_parallel_budgeted(
                                 None => {
                                     let mut states = shared.states.lock();
                                     if states.len() >= cap {
-                                        shared
-                                            .interrupted
-                                            .lock()
-                                            .get_or_insert(EngineError::StateBudgetExceeded {
-                                                limit: cap,
-                                            });
+                                        shared.interrupted.lock().get_or_insert(
+                                            EngineError::StateBudgetExceeded { limit: cap },
+                                        );
                                         None
                                     } else {
                                         let j = states.len();
@@ -549,7 +537,7 @@ pub fn explore_parallel_budgeted(
                             }
                         };
                         if let Some(j) = j {
-                            out.push((act, j));
+                            out.push((act.clone(), j));
                         }
                     }
                     shared.edges.lock()[i] = out;
@@ -716,8 +704,7 @@ mod tests {
         let defs = Defs::new();
         let flag = Arc::new(AtomicBool::new(true));
         let budget = Budget::unlimited().with_cancel_flag(flag);
-        let g =
-            explore_parallel_budgeted(&grow_pump(), &defs, ExploreOpts::default(), 4, &budget);
+        let g = explore_parallel_budgeted(&grow_pump(), &defs, ExploreOpts::default(), 4, &budget);
         assert!(g.truncated);
         assert_eq!(g.interrupted, Some(EngineError::Cancelled));
     }
@@ -790,9 +777,7 @@ mod tests {
             });
             // A survivor that spins until the claim is released.
             scope.spawn(|_| loop {
-                if shared.stop.load(Ordering::SeqCst)
-                    || shared.active.load(Ordering::SeqCst) == 0
-                {
+                if shared.stop.load(Ordering::SeqCst) || shared.active.load(Ordering::SeqCst) == 0 {
                     break;
                 }
                 std::thread::yield_now();

@@ -80,7 +80,11 @@ pub fn deafen(p: &P, a: Name) -> P {
                     other => other.clone(),
                 };
                 let shadowed = matches!(pre, Prefix::Input(_, xs) if xs.contains(&a));
-                let cont2 = if shadowed { cont.clone() } else { go(cont, a, deaf) };
+                let cont2 = if shadowed {
+                    cont.clone()
+                } else {
+                    go(cont, a, deaf)
+                };
                 Process::Act(pre2, cont2).rc()
             }
             Process::Sum(l, r) => Process::Sum(go(l, a, deaf), go(r, a, deaf)).rc(),
@@ -114,10 +118,18 @@ pub fn deafen(p: &P, a: Name) -> P {
 pub enum FaultEvent {
     /// A broadcast on `chan` at step `step` was not delivered to `node`
     /// (which was listening and would have received it).
-    MessageLost { step: usize, chan: Name, node: usize },
+    MessageLost {
+        step: usize,
+        chan: Name,
+        node: usize,
+    },
     /// `node` refused one delivery out of its bounded noise budget
     /// (axiom (H)-style finite unreliability).
-    DeliveryRefused { step: usize, chan: Name, node: usize },
+    DeliveryRefused {
+        step: usize,
+        chan: Name,
+        node: usize,
+    },
     /// `node` crash-stopped permanently at `step`.
     Crashed { step: usize, node: usize },
     /// `node` was frozen at `step` (it neither sends nor receives).
@@ -270,12 +282,7 @@ impl<'d> FaultySimulator<'d> {
 
     /// Runs until an output on `watch` occurs, the system terminates, or
     /// `max_steps` elapse.
-    pub fn run_until_output(
-        &mut self,
-        p: &P,
-        watch: Name,
-        max_steps: usize,
-    ) -> (Trace, FaultLog) {
+    pub fn run_until_output(&mut self, p: &P, watch: Name, max_steps: usize) -> (Trace, FaultLog) {
         self.run_internal(p, Some(watch), max_steps)
     }
 
@@ -663,8 +670,7 @@ mod tests {
         let defs = d();
         let [a, b, c] = names(["a", "b", "c"]);
         let p = par_of([out(a, [], out_(b, [])), inp(a, [], out_(c, []))]);
-        let mut sim =
-            FaultySimulator::new(&defs, FaultPlan::new(3).with_channel_loss(a, 1.0));
+        let mut sim = FaultySimulator::new(&defs, FaultPlan::new(3).with_channel_loss(a, 1.0));
         let (tr, log) = sim.run(&p, 20);
         assert!(tr.saw_output_on(a), "the broadcast itself still fires");
         assert!(tr.saw_output_on(b), "the sender is unaffected");
@@ -696,8 +702,8 @@ mod tests {
         assert_eq!(l1, l2);
         // And a different seed takes a different path eventually — not
         // asserted strictly, but the logs must at least be well-formed.
-        let (_, l3) = FaultySimulator::new(&defs, FaultPlan::new(43).with_default_loss(0.5))
-            .run(&p, 30);
+        let (_, l3) =
+            FaultySimulator::new(&defs, FaultPlan::new(43).with_default_loss(0.5)).run(&p, 30);
         assert!(l3.refusals() == 0, "no refusal budget configured");
     }
 
@@ -727,8 +733,12 @@ mod tests {
         assert!(tr.saw_output_on(a));
         assert!(tr.saw_output_on(b));
         assert!(!tr.saw_output_on(c), "the delivery flew past while frozen");
-        assert!(log.events.contains(&FaultEvent::Stopped { step: 0, node: 1 }));
-        assert!(log.events.contains(&FaultEvent::Resumed { step: 2, node: 1 }));
+        assert!(log
+            .events
+            .contains(&FaultEvent::Stopped { step: 0, node: 1 }));
+        assert!(log
+            .events
+            .contains(&FaultEvent::Resumed { step: 2, node: 1 }));
         // The frozen input survives in the final state: still listening.
         assert!(!Lts::new(&defs).receives(&tr.last, a, &[]).is_empty());
     }

@@ -12,6 +12,8 @@
 //! * [`explore`] — reachable state graphs (sequential and
 //!   crossbeam-parallel), quotiented by α-equivalence and extruded-name
 //!   renaming;
+//! * [`cache`] — memoized transition/normalisation derivations keyed by
+//!   hash-consed term ids and the defs generation stamp;
 //! * [`sim`] — seeded random execution for large closed systems;
 //! * [`budget`] — resource envelopes ([`Budget`]) and typed exhaustion
 //!   ([`EngineError`]) shared by every engine, so running out of states,
@@ -22,6 +24,7 @@
 
 pub mod analysis;
 pub mod budget;
+pub mod cache;
 pub mod discard;
 pub mod explore;
 pub mod faults;
@@ -31,14 +34,13 @@ pub mod weak;
 
 pub use analysis::{analyse, Analysis};
 pub use budget::{retry_with_backoff, Budget, EngineError};
+pub use cache::{input_transitions_cached, normalize_state_cached, step_transitions_cached};
 pub use discard::{discards, input_arities, listening};
 pub use explore::{
     explore, explore_adaptive, explore_budgeted, explore_parallel, explore_parallel_budgeted,
     normalize_state, output_reachable, output_reachable_budgeted, ExploreOpts, StateGraph,
 };
-pub use faults::{
-    deafen, lossy_traces, noise, FaultEvent, FaultLog, FaultPlan, FaultySimulator,
-};
+pub use faults::{deafen, lossy_traces, noise, FaultEvent, FaultLog, FaultPlan, FaultySimulator};
 pub use lts::{tuples, Lts};
 pub use sim::{Simulator, Trace};
-pub use weak::Weak;
+pub use weak::{TauSaturation, Weak};

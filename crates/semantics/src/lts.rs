@@ -54,9 +54,9 @@ impl<'d> Lts<'d> {
     fn receives_at(&self, p: &P, chan: Name, values: &[Name], depth: usize) -> Vec<P> {
         unfold_guard(depth, "input transitions");
         match &**p {
-            Process::Nil
-            | Process::Act(Prefix::Tau, _)
-            | Process::Act(Prefix::Output(..), _) => Vec::new(),
+            Process::Nil | Process::Act(Prefix::Tau, _) | Process::Act(Prefix::Output(..), _) => {
+                Vec::new()
+            }
             Process::Act(Prefix::Input(b, xs), cont) => {
                 if *b == chan && xs.len() == values.len() {
                     vec![Subst::parallel(xs, values).apply_process(cont)]
@@ -76,7 +76,7 @@ impl<'d> Lts<'d> {
                 // Rule (7) requires x ∉ n(α); α-convert if the incoming
                 // subject or objects collide with the binder.
                 let (x2, inner2) = if *x == chan || values.contains(x) {
-                    let f = fresh_name(&x.spelling());
+                    let f = fresh_name(x.spelling());
                     (f, Subst::single(*x, f).apply_process(inner))
                 } else {
                     (*x, inner.clone())
@@ -203,7 +203,7 @@ impl<'d> Lts<'d> {
                     // Rule (5): scope extrusion. Rename the binder to a
                     // globally fresh name so bound action names are unique
                     // run-wide.
-                    let f = fresh_name(&x.spelling());
+                    let f = fresh_name(x.spelling());
                     let s = Subst::single(x, f);
                     let objects = objects
                         .into_iter()

@@ -13,18 +13,68 @@
 //! The closure searches are bounded by a [`Budget`]; running out surfaces
 //! as `Err(EngineError)` rather than a panic, so equivalence engines can
 //! answer "inconclusive" instead of aborting.
+//!
+//! Closures are computed once per root as a [`TauSaturation`] — the
+//! reachable sub-graph together with each state's strong barbs — and
+//! memoized globally per (root term id, defs generation, move kind), so
+//! repeated weak queries against the same state (the common shape inside
+//! bisimulation refinement) stop re-running per-state searches.
 
 use crate::budget::{Budget, EngineError};
+use crate::cache::step_transitions_cached;
 use crate::lts::Lts;
 use bpi_core::action::Action;
-use bpi_core::canon::canon;
 use bpi_core::name::{Name, NameSet};
 use bpi_core::syntax::P;
-use std::collections::HashSet;
+use bpi_core::{cached_canon, cons, Consed};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, LazyLock};
 
 /// Default bound on the number of distinct states a weak closure may
 /// visit before giving up.
 pub const DEFAULT_CLOSURE_BUDGET: usize = 65_536;
+
+/// The saturation of one root state: every state reachable by the chosen
+/// move kind (τ only, or τ-and-output "step moves"), with each state's
+/// strong barbs precomputed.
+pub struct TauSaturation {
+    /// Reachable states (the root included), deduplicated up to
+    /// α-equivalence.
+    pub states: Vec<P>,
+    /// `barbs[i]` — strong barbs of `states[i]`.
+    pub barbs: Vec<NameSet>,
+}
+
+impl TauSaturation {
+    /// Union of the strong barbs over all saturated states.
+    pub fn all_barbs(&self) -> NameSet {
+        let mut s = NameSet::new();
+        for b in &self.barbs {
+            s.extend(b);
+        }
+        s
+    }
+}
+
+/// Which transitions a saturation follows.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum MoveKind {
+    Tau,
+    Step,
+}
+
+/// Global saturation memo: (root term, defs generation, move kind) →
+/// saturated sub-graph. Sound because the saturation is a pure function
+/// of the key; budget differences between callers are replayed on hit by
+/// re-checking the budget against the saturation's state count. Keys hold
+/// the `Consed` handle so the class id stays live while the entry does.
+type SaturationKey = (Consed, u64, MoveKind);
+static SATURATIONS: LazyLock<RwLock<HashMap<SaturationKey, Arc<TauSaturation>>>> =
+    LazyLock::new(|| RwLock::new(HashMap::new()));
+
+/// Entries kept before the saturation memo is wholesale cleared.
+const SATURATION_CAP: usize = 1 << 18;
 
 /// Weak-transition engine layered over [`Lts`].
 #[derive(Clone)]
@@ -59,37 +109,59 @@ impl<'d> Weak<'d> {
     /// itself), deduplicated up to α-equivalence. `Err` when the budget
     /// runs out first.
     pub fn tau_closure(&self, p: &P) -> Result<Vec<P>, EngineError> {
-        self.closure(p, |act| matches!(act, Action::Tau))
+        Ok(self.saturation(p, MoveKind::Tau)?.states.clone())
     }
 
     /// `{p' | p =α̂⇒ p'}` — all states reachable by *step moves*
     /// (`τ` or any output), including `p` itself.
     pub fn step_closure(&self, p: &P) -> Result<Vec<P>, EngineError> {
-        self.closure(p, |act| act.is_step_move())
+        Ok(self.saturation(p, MoveKind::Step)?.states.clone())
     }
 
-    fn closure(&self, p: &P, keep: impl Fn(&Action) -> bool) -> Result<Vec<P>, EngineError> {
+    /// The memoized saturation of `p`: computed by one budgeted search on
+    /// first demand, replayed from the global memo afterwards. A hit
+    /// still re-checks the *caller's* budget against the saturation size,
+    /// so a tighter budget sees the same typed exhaustion it would have
+    /// hit searching.
+    fn saturation(&self, p: &P, kind: MoveKind) -> Result<Arc<TauSaturation>, EngineError> {
+        self.budget.check(0)?;
+        let key = (cons(p), self.lts.defs.generation(), kind);
+        if let Some(sat) = SATURATIONS.read().get(&key) {
+            self.budget.check(sat.states.len())?;
+            return Ok(sat.clone());
+        }
+        let keep = |act: &Action| match kind {
+            MoveKind::Tau => matches!(act, Action::Tau),
+            MoveKind::Step => act.is_step_move(),
+        };
         let mut seen: HashSet<P> = HashSet::new();
         let mut out = Vec::new();
         let mut work = vec![p.clone()];
-        seen.insert(canon(p));
+        seen.insert(cached_canon(p));
         while let Some(q) = work.pop() {
             self.budget.check(seen.len())?;
-            for (act, q2) in self.lts.step_transitions(&q) {
-                if keep(&act) && seen.insert(canon(&q2)) {
-                    work.push(q2);
+            for (act, q2) in step_transitions_cached(&self.lts, &q).iter() {
+                if keep(act) && seen.insert(cached_canon(q2)) {
+                    work.push(q2.clone());
                 }
             }
             out.push(q);
         }
-        Ok(out)
+        let barbs = out.iter().map(|q| self.strong_barbs(q)).collect();
+        let sat = Arc::new(TauSaturation { states: out, barbs });
+        let mut g = SATURATIONS.write();
+        if g.len() >= SATURATION_CAP {
+            g.clear();
+        }
+        g.insert(key, sat.clone());
+        Ok(sat)
     }
 
     /// Strong barbs `{a | p ↓a}`: subjects of immediately available
     /// outputs.
     pub fn strong_barbs(&self, p: &P) -> NameSet {
         let mut s = NameSet::new();
-        for (act, _) in self.lts.step_transitions(p) {
+        for (act, _) in step_transitions_cached(&self.lts, p).iter() {
             if act.is_output() {
                 if let Some(a) = act.subject() {
                     s.insert(a);
@@ -102,11 +174,7 @@ impl<'d> Weak<'d> {
     /// Weak barbs `{a | p ⇓a}`: subjects of outputs reachable through `τ`
     /// steps.
     pub fn weak_barbs(&self, p: &P) -> Result<NameSet, EngineError> {
-        let mut s = NameSet::new();
-        for q in self.tau_closure(p)? {
-            s.extend(&self.strong_barbs(&q));
-        }
-        Ok(s)
+        Ok(self.saturation(p, MoveKind::Tau)?.all_barbs())
     }
 
     /// Strong step-barbs `{a | p ↓ₐ^φ}` — identical to strong barbs (an
@@ -122,11 +190,7 @@ impl<'d> Weak<'d> {
     /// `τ`s, which is exactly what distinguishes step- from barbed
     /// observation (Remark 2.3).
     pub fn weak_step_barbs(&self, p: &P) -> Result<NameSet, EngineError> {
-        let mut s = NameSet::new();
-        for q in self.step_closure(p)? {
-            s.extend(&self.strong_barbs(&q));
-        }
-        Ok(s)
+        Ok(self.saturation(p, MoveKind::Step)?.all_barbs())
     }
 
     /// Weak τ-moves followed by one transition satisfying `pred`, followed
@@ -139,12 +203,12 @@ impl<'d> Weak<'d> {
     ) -> Result<Vec<(Action, P)>, EngineError> {
         let mut out = Vec::new();
         let mut seen: HashSet<(Action, P)> = HashSet::new();
-        for q in self.tau_closure(p)? {
-            for (act, q2) in self.lts.step_transitions(&q) {
-                if pred(&act) {
-                    for q3 in self.tau_closure(&q2)? {
-                        if seen.insert((act.clone(), canon(&q3))) {
-                            out.push((act.clone(), q3));
+        for q in &self.saturation(p, MoveKind::Tau)?.states {
+            for (act, q2) in step_transitions_cached(&self.lts, q).iter() {
+                if pred(act) {
+                    for q3 in &self.saturation(q2, MoveKind::Tau)?.states {
+                        if seen.insert((act.clone(), cached_canon(q3))) {
+                            out.push((act.clone(), q3.clone()));
                         }
                     }
                 }
@@ -162,18 +226,20 @@ impl<'d> Weak<'d> {
     /// the budget before either finding the barb or exhausting the
     /// τ-reachable states.
     pub fn has_weak_barb(&self, p: &P, a: Name) -> Result<bool, EngineError> {
-        // Early-exit search rather than materialising the closure.
+        // Early-exit search rather than materialising the closure — a
+        // reachable barb must stay findable under budgets too small for
+        // the full saturation.
         let mut seen: HashSet<P> = HashSet::new();
         let mut work = vec![p.clone()];
-        seen.insert(canon(p));
+        seen.insert(cached_canon(p));
         while let Some(q) = work.pop() {
             self.budget.check(seen.len())?;
-            for (act, q2) in self.lts.step_transitions(&q) {
+            for (act, q2) in step_transitions_cached(&self.lts, &q).iter() {
                 if act.is_output() && act.subject() == Some(a) {
                     return Ok(true);
                 }
-                if matches!(act, Action::Tau) && seen.insert(canon(&q2)) {
-                    work.push(q2);
+                if matches!(act, Action::Tau) && seen.insert(cached_canon(q2)) {
+                    work.push(q2.clone());
                 }
             }
         }
@@ -258,12 +324,7 @@ mod tests {
         let [a, b] = names(["a", "b"]);
         let id = bpi_core::Ident::new("WPump");
         // WPump(a,b) = τ.(b̄ ‖ WPump<a,b>) — each unfolding grows the term.
-        let p = rec(
-            id,
-            [a, b],
-            tau(par(out_(b, []), var(id, [a, b]))),
-            [a, b],
-        );
+        let p = rec(id, [a, b], tau(par(out_(b, []), var(id, [a, b]))), [a, b]);
         let w = Weak::with_budget(Lts::new(&defs), 4);
         assert_eq!(
             w.tau_closure(&p),

@@ -83,7 +83,10 @@ fn main() {
         return;
     }
     report("chain", &Graph::new(&[("a", "b"), ("b", "c"), ("c", "d")]));
-    report("diamond", &Graph::new(&[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]));
+    report(
+        "diamond",
+        &Graph::new(&[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]),
+    );
     report("two-cycle", &Graph::new(&[("a", "b"), ("b", "a")]));
     report(
         "triangle",

@@ -146,7 +146,11 @@ fn main() {
     // E20 — Example 1 against the DFS baseline.
     {
         let cases = [
-            ("triangle", Graph::new(&[("a", "b"), ("b", "c"), ("c", "a")]), true),
+            (
+                "triangle",
+                Graph::new(&[("a", "b"), ("b", "c"), ("c", "a")]),
+                true,
+            ),
             ("chain", Graph::new(&[("a", "b"), ("b", "c")]), false),
         ];
         let mut ok = true;

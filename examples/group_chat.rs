@@ -10,9 +10,7 @@
 //! a private side-channel group on the fly (`newgroup`) — the fresh
 //! name guarantees nobody else can even accidentally listen in.
 
-use bpi::encodings::pvm::{
-    encode_system, obs_chan, observe, Expr, Instr, Program, System,
-};
+use bpi::encodings::pvm::{encode_system, obs_chan, observe, Expr, Instr, Program, System};
 use bpi::semantics::Simulator;
 
 fn main() {

@@ -73,9 +73,6 @@ fn main() {
         ("new t. a<t>.t<>", "new u. a<u>.u<>"),
     ];
     for (l, r) in demos {
-        prove(
-            &parse_process(l).unwrap(),
-            &parse_process(r).unwrap(),
-        );
+        prove(&parse_process(l).unwrap(), &parse_process(r).unwrap());
     }
 }

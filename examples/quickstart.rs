@@ -27,7 +27,10 @@ fn main() {
 
     // 3. Barbs: what the environment can hear.
     let w = Weak::new(lts);
-    println!("weak barbs    : {:?}", w.weak_barbs(&sys).expect("within budget"));
+    println!(
+        "weak barbs    : {:?}",
+        w.weak_barbs(&sys).expect("within budget")
+    );
 
     // 4. Equivalence checking: restriction turns broadcast into τ.
     let p = parse_process("new a. (a<v> | a(x).x<>)").expect("parse");

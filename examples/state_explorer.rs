@@ -11,10 +11,7 @@ use bpi::core::syntax::Defs;
 use bpi::semantics::{explore, explore_parallel, ExploreOpts};
 
 fn main() {
-    let src = std::env::args()
-        .skip(1)
-        .collect::<Vec<_>>()
-        .join(" ");
+    let src = std::env::args().skip(1).collect::<Vec<_>>().join(" ");
     let src = if src.is_empty() {
         "a<v> | a(x).x<> | a(y).y<y>".to_string()
     } else {

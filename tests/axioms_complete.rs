@@ -97,10 +97,7 @@ fn h_independence_noisy_instances_need_h() {
         },
         {
             let p = sum(out_(b, []), tau(nil()));
-            (
-                tau(p.clone()),
-                tau(sum(p.clone(), inp(a, [x], p.clone()))),
-            )
+            (tau(p.clone()), tau(sum(p.clone(), inp(a, [x], p.clone()))))
         },
     ];
     for (lhs, rhs) in instances {

@@ -18,6 +18,8 @@ use bpi::equiv::{congruent_strong, congruent_weak, sim_plus, Checker, Opts, Vari
 use proptest::prelude::*;
 use rand::SeedableRng;
 
+type CtxFn = Box<dyn Fn(&P) -> P>;
+
 fn defs() -> Defs {
     Defs::new()
 }
@@ -65,7 +67,7 @@ proptest! {
         let r = g.process();
         prop_assert!(congruent_strong(&p, &q, &d, opts()));
         let [a, b, x] = names(["a", "b", "x"]);
-        let contexts: Vec<(&str, Box<dyn Fn(&P) -> P>)> = vec![
+        let contexts: Vec<(&str, CtxFn)> = vec![
             ("tau prefix", Box::new(move |t: &P| tau(t.clone()))),
             ("output prefix", Box::new(move |t: &P| out(a, [b], t.clone()))),
             ("input prefix", Box::new(move |t: &P| inp(a, [x], t.clone()))),

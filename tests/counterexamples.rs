@@ -112,11 +112,7 @@ fn remark3_labelled_not_a_congruence() {
     let collapsed = bpi::core::Subst::single(y, x).apply_process(&m);
     assert!(!strong_bisimilar(&collapsed, &nil(), &d));
     // Prefixing (consequence): a(y).m ≁ a(y).nil.
-    assert!(!strong_bisimilar(
-        &inp(a, [y], m),
-        &inp_(a, [y]),
-        &d
-    ));
+    assert!(!strong_bisimilar(&inp(a, [y], m), &inp_(a, [y]), &d));
 }
 
 /// Section 6's closing observation: `ā.(b̄+c̄)` and `ā.b̄+ā.c̄` are not
@@ -137,17 +133,18 @@ fn section6_bisimulation_strictness() {
     // …but barbed equivalence (closure under static contexts) does:
     // νa ([·] ‖ a()) manufactures the separating τ.
     let ctx = |t: bpi::core::syntax::P| new(a, par(t, inp_(a, [])));
-    assert!(!strong_barbed_bisimilar(&ctx(p.clone()), &ctx(q.clone()), &d));
+    assert!(!strong_barbed_bisimilar(
+        &ctx(p.clone()),
+        &ctx(q.clone()),
+        &d
+    ));
     // The random static-context sampler finds a separating context too.
-    let found = bpi::equiv::contexts::sampled_equivalence(
-        Variant::StrongBarbed,
-        &p,
-        &q,
-        &d,
-        300,
-        11,
+    let found =
+        bpi::equiv::contexts::sampled_equivalence(Variant::StrongBarbed, &p, &q, &d, 300, 11);
+    assert!(
+        found.is_err(),
+        "sampler should find a distinguishing context"
     );
-    assert!(found.is_err(), "sampler should find a distinguishing context");
 }
 
 /// The checker object deduplicates work across variants — smoke-check

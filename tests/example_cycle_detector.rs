@@ -59,7 +59,10 @@ fn exhaustive_agreement_on_random_graphs() {
         }
     }
     // The sample must exercise both outcomes.
-    assert!(cyclic > 0 && acyclic > 0, "{cyclic} cyclic / {acyclic} acyclic");
+    assert!(
+        cyclic > 0 && acyclic > 0,
+        "{cyclic} cyclic / {acyclic} acyclic"
+    );
 }
 
 #[test]

@@ -11,7 +11,10 @@ use std::collections::BTreeSet;
 /// membership, executed under one specific schedule (send everything,
 /// then run receivers). It predicts the *achievable* deliveries that the
 /// bπ encoding must be able to reproduce under some schedule.
-fn baseline_bcast_deliveries(groups: &[(&str, &[&str])], sends: &[(&str, &str)]) -> BTreeSet<(String, String)> {
+fn baseline_bcast_deliveries(
+    groups: &[(&str, &[&str])],
+    sends: &[(&str, &str)],
+) -> BTreeSet<(String, String)> {
     // groups: (group, members); sends: (group, message).
     let mut out = BTreeSet::new();
     for (g, m) in sends {
@@ -165,7 +168,8 @@ fn sequential_pipeline_of_sends() {
     };
     let vals = observed_values(&sys, obs_chan("end"), 0..120, 800);
     assert!(
-        vals.iter().any(|v| v.len() == 1 && v[0].spelling() == "c_tok"),
+        vals.iter()
+            .any(|v| v.len() == 1 && v[0].spelling() == "c_tok"),
         "token never traversed the pipeline: {vals:?}"
     );
 }

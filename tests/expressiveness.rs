@@ -97,7 +97,10 @@ fn cbs_contrast_suite() {
     let (shared, v1, v2, o1, _o2) = shared_instances();
     let (scoped, w1, w2, s1, s2) = scoped_instances();
     // Static sharing interferes; restriction isolates.
-    assert!(observes(&shared, o1, v2), "CBS-style sharing must interfere");
+    assert!(
+        observes(&shared, o1, v2),
+        "CBS-style sharing must interfere"
+    );
     assert!(!observes(&scoped, s1, w2));
     assert!(!observes(&scoped, s2, w1));
     assert!(observes(&scoped, s1, w1));

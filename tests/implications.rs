@@ -104,16 +104,10 @@ fn lemma5_implication_on_curated_pairs() {
         );
         let barbed = checker.bisimilar(Variant::WeakBarbed, &p, &q);
         if composed_step {
-            assert!(
-                barbed,
-                "Lemma 5 violated: {p}‖T ≈φ {q}‖T but p ≉b q"
-            );
+            assert!(barbed, "Lemma 5 violated: {p}‖T ≈φ {q}‖T but p ≉b q");
         }
         if !barbed {
-            assert!(
-                !composed_step,
-                "contrapositive violated for {p} vs {q}"
-            );
+            assert!(!composed_step, "contrapositive violated for {p} vs {q}");
         }
     }
 }
@@ -144,11 +138,7 @@ fn lemma5_tester_exposes_hidden_reductions() {
     );
     // Consistently, barbed *equivalence* (context closure) also fails —
     // Remark 1's restriction context νa [·] separates them.
-    assert!(!checker.bisimilar(
-        Variant::WeakBarbed,
-        &new(a, p),
-        &new(a, q)
-    ));
+    assert!(!checker.bisimilar(Variant::WeakBarbed, &new(a, p), &new(a, q)));
 }
 
 #[test]

@@ -7,8 +7,8 @@
 //! the toolchain treats both uniformly.
 
 use bpi::core::builder::*;
-use bpi::core::{parse_defs, parse_process};
 use bpi::core::syntax::{Defs, Ident};
+use bpi::core::{parse_defs, parse_process};
 use bpi::equiv::{Checker, Opts};
 use bpi::semantics::{explore, ExploreOpts, Lts};
 
@@ -24,7 +24,10 @@ fn parsed_defs_drive_the_lts() {
     let lts = Lts::new(&defs);
     let ts = lts.step_transitions(&p);
     assert_eq!(ts.len(), 1);
-    assert_eq!(ts[0].0.subject().map(|n| n.to_string()), Some("stop".into()));
+    assert_eq!(
+        ts[0].0.subject().map(|n| n.to_string()),
+        Some("stop".into())
+    );
     let g = explore(&p, &defs, ExploreOpts::default());
     assert_eq!(g.len(), 2, "the light has exactly two states");
     assert!(!g.truncated);
@@ -90,13 +93,8 @@ fn undefined_call_panics_with_diagnostic() {
     let defs = Defs::new();
     let p = call(Ident::new("NoSuchAgent"), []);
     let lts = Lts::new(&defs);
-    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        lts.step_transitions(&p)
-    }))
-    .unwrap_err();
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| lts.step_transitions(&p)))
+        .unwrap_err();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("NoSuchAgent"), "diagnostic was: {msg}");
 }

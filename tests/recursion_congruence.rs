@@ -35,10 +35,7 @@ fn definition12_example_shape() {
     let plugged = plug_ident(&e, x, &[z1, z2], &p);
     let expected = sum(
         out(a, [b], par(out(a, [], out_(b, [])), out_(b, []))),
-        new(
-            c,
-            out(a, [c], par(out(c, [], out_(b, [])), out_(b, []))),
-        ),
+        new(c, out(a, [c], par(out(c, [], out_(b, [])), out_(b, [])))),
     );
     assert_eq!(plugged, expected, "got {plugged}");
 }
@@ -102,12 +99,7 @@ fn lemma15_noisy_bodies() {
     let e = out(a, [], var(x, [a, b]));
     // φ = (c ≠ a) ∧ (c ≠ b) encoded with matches; the plugs we use
     // below listen on a at most, never on c.
-    let guarded = mat(
-        c,
-        a,
-        nil(),
-        mat(c, b, nil(), inp(c, [w], var(x, [a, b]))),
-    );
+    let guarded = mat(c, a, nil(), mat(c, b, nil(), inp(c, [w], var(x, [a, b]))));
     let f = out(a, [], sum(var(x, [a, b]), guarded));
     let d = defs();
     // Plugs that never listen on c.

@@ -51,7 +51,11 @@ fn laws_b_to_l_exact() {
     // (b) p ‖ nil ~ p
     assert_all_strong(&par(p.clone(), nil()), &p, "(b)");
     // (c) p ‖ q ~ q ‖ p
-    assert_all_strong(&par(p.clone(), q.clone()), &par(q.clone(), p.clone()), "(c)");
+    assert_all_strong(
+        &par(p.clone(), q.clone()),
+        &par(q.clone(), p.clone()),
+        "(c)",
+    );
     // (d) (p ‖ q) ‖ r ~ p ‖ (q ‖ r)
     assert_all_strong(
         &par(par(p.clone(), q.clone()), r.clone()),
@@ -61,7 +65,11 @@ fn laws_b_to_l_exact() {
     // (e) p + nil ~ p
     assert_all_strong(&sum(p.clone(), nil()), &p, "(e)");
     // (f) p + q ~ q + p
-    assert_all_strong(&sum(p.clone(), q.clone()), &sum(q.clone(), p.clone()), "(f)");
+    assert_all_strong(
+        &sum(p.clone(), q.clone()),
+        &sum(q.clone(), p.clone()),
+        "(f)",
+    );
     // (g) (p + q) + r ~ p + (q + r)
     assert_all_strong(
         &sum(sum(p.clone(), q.clone()), r.clone()),

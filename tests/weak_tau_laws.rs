@@ -56,7 +56,12 @@ fn t1_holds() {
 fn t2_holds_for_deaf_processes() {
     // p with no unguarded inputs: discard capabilities agree, (T2) holds.
     let [a, b] = names(["a", "b"]);
-    let deaf: Vec<P> = vec![nil(), out_(b, []), out(a, [], out_(b, [])), tau(out_(a, []))];
+    let deaf: Vec<P> = vec![
+        nil(),
+        out_(b, []),
+        out(a, [], out_(b, [])),
+        tau(out_(a, [])),
+    ];
     for p in deaf {
         assert!(
             weakly_congruent(&sum(p.clone(), tau(p.clone())), &tau(p.clone())),
@@ -105,10 +110,7 @@ fn t3_holds_on_samples() {
         let base = out(a, [], sum(p.clone(), tau(q.clone())));
         let lhs = base.clone();
         let rhs = sum(base, out(a, [], q.clone()));
-        assert!(
-            weakly_congruent(&lhs, &rhs),
-            "(T3) failed for p={p}, q={q}"
-        );
+        assert!(weakly_congruent(&lhs, &rhs), "(T3) failed for p={p}, q={q}");
     }
 }
 

@@ -52,10 +52,7 @@ where
         };
         f(&handle)
     });
-    let payload = first_panic
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .take();
+    let payload = first_panic.lock().unwrap_or_else(|e| e.into_inner()).take();
     match payload {
         Some(payload) => Err(payload),
         None => Ok(result),

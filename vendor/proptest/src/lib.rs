@@ -200,9 +200,6 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr) => {{
         let (l, r) = (&$left, &$right);
-        $crate::prop_assert!(
-            l != r,
-            "assertion failed: `{:?}` != `{:?}`", l, r
-        );
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
     }};
 }

@@ -41,8 +41,7 @@ pub mod ser {
         fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
         fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
         fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
-        fn serialize_some<T: Serialize + ?Sized>(self, value: &T)
-            -> Result<Self::Ok, Self::Error>;
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
         fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
         fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
         fn serialize_unit_variant(
@@ -274,10 +273,7 @@ pub mod de {
         impl<'de, E: DeError> Deserializer<'de> for StrDeserializer<'de, E> {
             type Error = E;
 
-            fn deserialize_str<V: Visitor<'de>>(
-                self,
-                visitor: V,
-            ) -> Result<V::Value, Self::Error> {
+            fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
                 visitor.visit_str(self.input)
             }
         }
