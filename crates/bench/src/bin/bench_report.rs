@@ -1,26 +1,41 @@
 //! Pinned-size performance report — emits the machine-readable
-//! `BENCH_2.json` baseline tracked at the repo root.
+//! `BENCH_3.json` tracked at the repo root, and regression-gates the
+//! `BENCH_2.json` baseline.
 //!
 //! Criterion gives the full statistical story (`cargo bench`); this bin
-//! runs a small fixed set of before/after measurements with
-//! `std::time::Instant` medians so the perf trajectory can be diffed as
-//! JSON across PRs. "Baseline" legs run the retained seed code paths
-//! (naive `refine` oracle, fresh `canon`/`free_names` tree walks, cold
-//! first exploration); "optimized" legs run the PR 2 paths (worklist
-//! engine, consed caches, warm memoized exploration).
+//! runs a small fixed set of measurements with `std::time::Instant`
+//! medians so the perf trajectory can be diffed as JSON across PRs. Two
+//! sections:
+//!
+//! * **entries** — the PR 2 before/after pairs, re-measured on today's
+//!   engines (naive `refine` oracle vs the adaptive worklist, fresh tree
+//!   walks vs consed caches, cold vs warm exploration);
+//! * **thread_series** — PR 3's scaling sweep: the τ-ladder refinement,
+//!   the 3^N exploration and the wide-parallel-composition build, each
+//!   at 1/2/4/8 worker threads. Cold-construction series use tagged
+//!   (structurally fresh) terms per sample so the successor memos cannot
+//!   serve the work the threads are supposed to do. `host_cpus` records
+//!   the machine's actual parallelism — on a single-core host the series
+//!   measures the overhead floor of the parallel paths, not speedup.
 //!
 //! Usage:
 //!   cargo run --release -p bpi-bench --bin bench_report [OUT.json]
-//!   cargo run -p bpi-bench --bin bench_report -- --check   # CI smoke
+//!   cargo run --release -p bpi-bench --bin bench_report -- --check
 //!
-//! `--check` shrinks every instance and skips the file write: it only
-//! proves the report harness still runs.
+//! `--check` (the CI bench-smoke gate) writes nothing: it re-measures
+//! the PR 2 entries at the pinned sizes and **fails** if any entry's
+//! speedup regresses below 0.9× the value recorded in `BENCH_2.json`
+//! (up to three attempts per entry to ride out scheduler noise).
 
-use bpi_bench::{deep_term, independent_components, scaled_pair, tau_chain};
+use bpi_bench::{
+    deep_term, independent_components_tagged, scaled_pair, tau_chain, wide_par_tagged,
+};
 use bpi_core::syntax::Defs;
-use bpi_equiv::{refine, refine_worklist, shared_pool, Graph, Opts, Variant};
-use bpi_semantics::{explore, ExploreOpts};
+use bpi_equiv::{refine, refine_parallel, refine_worklist, shared_pool, Graph, Opts, Variant};
+use bpi_semantics::{explore, explore_parallel, Budget, ExploreOpts};
 use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 struct Entry {
     id: &'static str,
@@ -35,6 +50,24 @@ impl Entry {
             self.baseline_us / self.optimized_us
         } else {
             f64::INFINITY
+        }
+    }
+}
+
+struct Series {
+    id: &'static str,
+    /// `(threads, median_us)` per sweep point.
+    points: Vec<(usize, f64)>,
+    note: &'static str,
+}
+
+impl Series {
+    fn speedup_at(&self, threads: usize) -> f64 {
+        let base = self.points.iter().find(|(t, _)| *t == 1);
+        let here = self.points.iter().find(|(t, _)| *t == threads);
+        match (base, here) {
+            (Some((_, b)), Some((_, h))) if *h > 0.0 => b / h,
+            _ => f64::NAN,
         }
     }
 }
@@ -78,22 +111,18 @@ fn refine_pair(
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let check = args.iter().any(|a| a == "--check");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_2.json".to_string());
+struct Sizes {
+    ladder_n: usize,
+    scaled_n: usize,
+    explore_n: usize,
+    depth: usize,
+    reps: usize,
+}
 
-    // Pinned sizes; --check shrinks everything to a smoke run.
-    let (ladder_n, scaled_n, explore_n, depth, reps) = if check {
-        (6, 3, 3, 6, 1)
-    } else {
-        (48, 8, 8, 12, 9)
-    };
-
+/// The PR 2 entry set, re-measured on the current engines. `tag`
+/// uniquifies the cold-exploration term so repeated calls (the --check
+/// retry loop) each see a genuinely cold first run.
+fn measure_entries(s: &Sizes, tag: &str) -> Vec<Entry> {
     let mut entries: Vec<Entry> = Vec::new();
 
     // B9 — refinement engines on prebuilt graphs. The τ-ladder is the
@@ -101,43 +130,43 @@ fn main() {
     // sweep, so the global fixpoint pays O(n) sweeps over the full
     // (n+1)^2 pair table where the worklist touches each pair O(deg)
     // times.
-    let ladder = tau_chain(ladder_n);
+    let ladder = tau_chain(s.ladder_n);
     entries.push(refine_pair(
         "bisim/refine/tau-ladder/strong-labelled",
         &ladder,
         &ladder,
         Variant::StrongLabelled,
-        reps,
+        s.reps,
         "naive refine oracle vs predecessor-indexed worklist, 49-state ladder",
     ));
-    let (p, q) = scaled_pair(scaled_n);
+    let (p, q) = scaled_pair(s.scaled_n);
     entries.push(refine_pair(
         "bisim/refine/scaled-sums/strong-labelled",
         &p,
         &q,
         Variant::StrongLabelled,
-        reps,
-        "tiny graph: dependency-index setup can outweigh the saved sweeps",
+        s.reps,
+        "tiny graph: the adaptive cutover keeps small products on the naive sweep",
     ));
     entries.push(refine_pair(
         "bisim/refine/scaled-sums/weak-labelled",
         &p,
         &q,
         Variant::WeakLabelled,
-        reps,
+        s.reps,
         "weak dependency sets are inverse reachability",
     ));
 
     // B8 — exploration: the cold first run derives every transition and
-    // conses every state (what the seed paid on each run); warm re-runs
-    // are served by the (consed term, defs generation) successor memos.
+    // conses every state; warm re-runs are served by the
+    // (consed term, defs generation) successor memos.
     let defs = Defs::new();
-    let sys = independent_components(explore_n);
+    let sys = independent_components_tagged(s.explore_n, tag);
     let opts = ExploreOpts::default();
     let t = Instant::now();
     let cold_len = explore(&sys, &defs, opts).len();
     let cold_us = t.elapsed().as_secs_f64() * 1e6;
-    let warm_us = median_us(reps, || {
+    let warm_us = median_us(s.reps, || {
         assert_eq!(explore(&sys, &defs, opts).len(), cold_len);
     });
     entries.push(Entry {
@@ -151,38 +180,219 @@ fn main() {
     // consed node's caches. A live handle pins the class — exactly what
     // the explorer's visited table and the graph memo do — otherwise
     // the weak cell dies between calls and every lookup is a miss.
-    let term = deep_term(depth);
+    let term = deep_term(s.depth);
     let _pin = bpi_core::cons(&term);
     let _ = bpi_core::cached_canon(&term); // warm the consed node once
     entries.push(Entry {
         id: "normalize/canon/fresh-vs-cached",
-        baseline_us: median_us(reps, || {
+        baseline_us: median_us(s.reps, || {
             std::hint::black_box(bpi_core::canon(&term));
         }),
-        optimized_us: median_us(reps, || {
+        optimized_us: median_us(s.reps, || {
             std::hint::black_box(bpi_core::cached_canon(&term));
         }),
         note: "alpha-canonical form, depth-12 alternating term",
     });
     entries.push(Entry {
         id: "normalize/free-names/fresh-vs-cached",
-        baseline_us: median_us(reps, || {
+        baseline_us: median_us(s.reps, || {
             std::hint::black_box(term.free_names());
         }),
-        optimized_us: median_us(reps, || {
+        optimized_us: median_us(s.reps, || {
             std::hint::black_box(bpi_core::cached_free_names(&term));
         }),
         note: "free-name set, depth-12 alternating term",
     });
+    entries
+}
+
+/// B10 — the PR 3 thread-scaling sweep.
+fn measure_thread_series(s: &Sizes, wide_n: usize) -> Vec<Series> {
+    let defs = Defs::new();
+    let mut series: Vec<Series> = Vec::new();
+
+    // Refinement: one pair of prebuilt τ-ladder graphs, refined with the
+    // round-synchronous parallel engine at each thread count. The
+    // relation is identical at every count (the oracle tests pin that);
+    // only the wall clock may move.
+    let ladder = tau_chain(s.ladder_n);
+    let opts = Opts::default();
+    let pool = shared_pool(&ladder, &ladder, opts.fresh_inputs);
+    let g1 = Graph::build(&ladder, &defs, &pool, opts).expect("ladder fits");
+    let g2 = Graph::build(&ladder, &defs, &pool, opts).expect("ladder fits");
+    series.push(Series {
+        id: "bisim/refine-parallel/tau-ladder/weak-labelled",
+        points: THREADS
+            .iter()
+            .map(|&t| {
+                let us = median_us(s.reps, || {
+                    assert!(refine_parallel(Variant::WeakLabelled, &g1, &g2, t).holds(0, 0));
+                });
+                (t, us)
+            })
+            .collect(),
+        note: "round-synchronous refinement of the 49-state ladder (2401 pairs)",
+    });
+
+    // Exploration: tagged terms per sample, so every run is cold and the
+    // workers have real derivations to share.
+    let mut tag_no = 0usize;
+    series.push(Series {
+        id: "explore/independent-3^N/cold-parallel",
+        points: THREADS
+            .iter()
+            .map(|&t| {
+                let us = median_us(s.reps, || {
+                    tag_no += 1;
+                    let sys = independent_components_tagged(s.explore_n, &format!("x{tag_no}#"));
+                    std::hint::black_box(
+                        explore_parallel(&sys, &defs, ExploreOpts::default(), t).len(),
+                    );
+                });
+                (t, us)
+            })
+            .collect(),
+        note: "cold frontier exploration of 3^8 states, fresh channel names per sample",
+    });
+
+    // Construction: the wide-parallel-composition family through the
+    // full equivalence-graph builder (input pool, discard sets, canonical
+    // BFS renumbering).
+    let budget = Budget::unlimited();
+    series.push(Series {
+        id: "graph/build-parallel/wide-par",
+        points: THREADS
+            .iter()
+            .map(|&t| {
+                let us = median_us(s.reps, || {
+                    tag_no += 1;
+                    let sys = wide_par_tagged(wide_n, &format!("w{tag_no}#"));
+                    let pool = shared_pool(&sys, &sys, opts.fresh_inputs);
+                    std::hint::black_box(
+                        Graph::build_parallel(&sys, &defs, &pool, opts, &budget, t)
+                            .expect("wide-par fits")
+                            .len(),
+                    );
+                });
+                (t, us)
+            })
+            .collect(),
+        note: "equivalence-graph construction of the wide composition, fresh names per sample",
+    });
+    series
+}
+
+/// Minimal extraction of `(id, speedup)` pairs from a
+/// `bpi-bench-report/v1` JSON file (the format this bin writes — one
+/// entry object per line — so a full JSON parser is not needed).
+fn read_recorded_speedups(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(id_at) = line.find("\"id\": \"") else {
+            continue;
+        };
+        let rest = &line[id_at + 7..];
+        let Some(id_end) = rest.find('"') else {
+            continue;
+        };
+        let id = rest[..id_end].to_string();
+        let Some(sp_at) = line.find("\"speedup\": ") else {
+            continue;
+        };
+        let sp_rest = &line[sp_at + 11..];
+        let sp_end = sp_rest.find([',', ' ', '}']).unwrap_or(sp_rest.len());
+        if let Ok(sp) = sp_rest[..sp_end].parse::<f64>() {
+            out.push((id, sp));
+        }
+    }
+    out
+}
+
+/// The CI regression gate: every BENCH_2 entry must still reach at
+/// least 0.9× its recorded speedup. Re-measures a failing entry up to
+/// three times before declaring a regression.
+fn run_check(sizes: &Sizes) -> bool {
+    let recorded = read_recorded_speedups("BENCH_2.json");
+    if recorded.is_empty() {
+        eprintln!("--check: BENCH_2.json missing or unparsable; nothing to gate");
+        return true;
+    }
+    let mut failing: Vec<String> = recorded.iter().map(|(id, _)| id.clone()).collect();
+    for attempt in 1..=3 {
+        let entries = measure_entries(sizes, &format!("chk{attempt}#"));
+        failing.retain(|id| {
+            let Some((_, want)) = recorded.iter().find(|(rid, _)| rid == id) else {
+                return false;
+            };
+            let Some(e) = entries.iter().find(|e| e.id == id) else {
+                eprintln!("--check: recorded entry {id} is no longer measured");
+                return true;
+            };
+            let got = e.speedup();
+            let pass = got >= 0.9 * want;
+            eprintln!(
+                "--check[{attempt}] {:<48} {:>6.2}x (recorded {:>5.2}x) {}",
+                id,
+                got,
+                want,
+                if pass { "ok" } else { "RETRY" }
+            );
+            !pass
+        });
+        if failing.is_empty() {
+            return true;
+        }
+    }
+    for id in &failing {
+        eprintln!("--check: REGRESSION {id}: speedup below 0.9x of BENCH_2.json after 3 attempts");
+    }
+    false
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
+
+    let sizes = Sizes {
+        ladder_n: 48,
+        scaled_n: 8,
+        explore_n: 8,
+        depth: 12,
+        reps: if check { 5 } else { 9 },
+    };
+    let wide_n = 7; // 3^7 = 2187 states per build
+
+    if check {
+        if run_check(&sizes) {
+            eprintln!("--check: all BENCH_2 entries within tolerance");
+            return;
+        }
+        std::process::exit(1);
+    }
+
+    let entries = measure_entries(&sizes, "rpt#");
+    let series = measure_thread_series(&sizes, wide_n);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // Render.
     let (ptr_hits, hash_hits, misses) = bpi_core::store::store_stats();
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"bpi-bench-report/v1\",\n");
-    json.push_str("  \"pr\": 2,\n");
+    json.push_str("  \"pr\": 3,\n");
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str(&format!(
-        "  \"pinned\": {{ \"tau_ladder\": {ladder_n}, \"scaled_sums\": {scaled_n}, \"explore_components\": {explore_n}, \"term_depth\": {depth}, \"repeats\": {reps} }},\n"
+        "  \"pinned\": {{ \"tau_ladder\": {}, \"scaled_sums\": {}, \"explore_components\": {}, \"wide_par\": {wide_n}, \"term_depth\": {}, \"repeats\": {} }},\n",
+        sizes.ladder_n, sizes.scaled_n, sizes.explore_n, sizes.depth, sizes.reps
     ));
     json.push_str(&format!(
         "  \"store\": {{ \"ptr_hits\": {ptr_hits}, \"hash_hits\": {hash_hits}, \"misses\": {misses} }},\n"
@@ -199,6 +409,23 @@ fn main() {
             if i + 1 == entries.len() { "" } else { "," }
         ));
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"thread_series\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|(t, us)| format!("{{ \"threads\": {t}, \"us\": {us:.1} }}"))
+            .collect();
+        json.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"points\": [{}], \"speedup_at_4\": {:.2}, \"note\": \"{}\" }}{}\n",
+            s.id,
+            pts.join(", "),
+            s.speedup_at(4),
+            s.note,
+            if i + 1 == series.len() { "" } else { "," }
+        ));
+    }
     json.push_str("  ]\n}\n");
 
     for e in &entries {
@@ -210,10 +437,19 @@ fn main() {
             e.speedup()
         );
     }
-    if check {
-        eprintln!("--check: report harness ok, not writing {out_path}");
-    } else {
-        std::fs::write(&out_path, json).expect("write report");
-        eprintln!("wrote {out_path}");
+    for s in &series {
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|(t, us)| format!("{t}t:{us:.0}us"))
+            .collect();
+        eprintln!(
+            "{:<48} {}  ({:.2}x @4t, host_cpus={host_cpus})",
+            s.id,
+            pts.join("  "),
+            s.speedup_at(4)
+        );
     }
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("wrote {out_path}");
 }

@@ -49,11 +49,40 @@ pub fn scaled_pair(n: usize) -> (bpi_core::syntax::P, bpi_core::syntax::P) {
 /// `Πᴺ (āᵢ.b̄ᵢ)` — 3^N reachable states (shared by benches/explore.rs
 /// and the `bench_report` bin).
 pub fn independent_components(n: usize) -> bpi_core::syntax::P {
+    independent_components_tagged(n, "")
+}
+
+/// [`independent_components`] with `tag`-prefixed channel names: a fresh
+/// tag per measurement yields structurally fresh terms, defeating the
+/// cross-run successor memos so each sample pays genuinely cold
+/// construction (thread-scaling measurements need this — a memo hit
+/// parallelises nothing).
+pub fn independent_components_tagged(n: usize, tag: &str) -> bpi_core::syntax::P {
     use bpi_core::builder::*;
     par_of((0..n).map(|i| {
-        let a = bpi_core::Name::intern_raw(&format!("ea{i}"));
-        let b = bpi_core::Name::intern_raw(&format!("eb{i}"));
+        let a = bpi_core::Name::intern_raw(&format!("{tag}ea{i}"));
+        let b = bpi_core::Name::intern_raw(&format!("{tag}eb{i}"));
         out(a, [], out_(b, []))
+    }))
+}
+
+/// `Πᴺ (āᵢ + τ.b̄ᵢ)` — a wide parallel composition: every component
+/// contributes an independent branch at every depth, so the state graph
+/// (3^N states) has a frontier that stays wide from the first level.
+/// The stress shape for concurrent graph construction, where a
+/// τ-ladder's chain-shaped frontier (width 1) leaves workers idle.
+pub fn wide_par(n: usize) -> bpi_core::syntax::P {
+    wide_par_tagged(n, "")
+}
+
+/// [`wide_par`] with `tag`-prefixed channel names (see
+/// [`independent_components_tagged`] for why).
+pub fn wide_par_tagged(n: usize, tag: &str) -> bpi_core::syntax::P {
+    use bpi_core::builder::*;
+    par_of((0..n).map(|i| {
+        let a = bpi_core::Name::intern_raw(&format!("{tag}wa{i}"));
+        let b = bpi_core::Name::intern_raw(&format!("{tag}wb{i}"));
+        sum(out_(a, []), tau(out_(b, [])))
     }))
 }
 

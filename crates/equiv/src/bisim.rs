@@ -14,17 +14,30 @@
 //! All six relations are decided by the same greatest-fixpoint pair
 //! refinement over the two finite [`Graph`]s: start from the full
 //! relation and delete pairs violating the transfer conditions until
-//! stable. Two engines compute that fixpoint: the naive global sweep
-//! [`refine`] (kept as a test oracle) and the predecessor-indexed
-//! worklist [`refine_worklist`] that the [`Checker`] runs — killing a
-//! pair re-examines only the pairs with an edge into it, not the whole
-//! relation.
+//! stable. Three engines compute that fixpoint — all chaotic iterations
+//! of the same monotone transfer operator, hence the same greatest
+//! fixpoint:
+//!
+//! * the naive global sweep [`refine`] (the reference oracle, and the
+//!   fastest choice on small products — no index construction);
+//! * the predecessor-indexed worklist [`refine_worklist`] (Gauss–Seidel:
+//!   killing a pair re-examines only the pairs with an edge into it);
+//! * the round-synchronous parallel engine [`refine_parallel`]
+//!   (Jacobi / Kanellakis–Smolka-signature style: each round re-checks
+//!   the dirty pairs against an immutable snapshot, split across
+//!   crossbeam workers with per-chunk kill buffers merged
+//!   deterministically).
+//!
+//! [`refine_auto`] picks between them by pair count and thread budget;
+//! the [`Checker`] runs that, with its thread count defaulting to the
+//! `BPI_THREADS` policy of [`bpi_semantics::threads`].
 
 use crate::graph::{shared_pool, Graph, Opts};
 use bpi_core::action::Action;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, P};
 use bpi_semantics::budget::{Budget, EngineError};
+use parking_lot::Mutex;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -83,6 +96,12 @@ pub struct Checker<'d> {
     /// are polled during the build; the state ceiling composes with
     /// `opts.max_states` by taking the minimum).
     pub budget: Budget,
+    /// Worker-thread count for graph construction and refinement.
+    /// Defaults to [`bpi_semantics::default_threads`] (`1` unless
+    /// `BPI_THREADS` opts in); `1` keeps everything on the calling
+    /// thread. Every thread count produces bit-identical graphs,
+    /// relations and errors, so this is purely a performance knob.
+    pub threads: usize,
 }
 
 /// A computed candidate relation between two graphs, exposed so that the
@@ -132,6 +151,7 @@ impl<'d> Checker<'d> {
             defs,
             opts: Opts::default(),
             budget: Budget::unlimited(),
+            threads: bpi_semantics::default_threads(),
         }
     }
 
@@ -140,12 +160,20 @@ impl<'d> Checker<'d> {
             defs,
             opts,
             budget: Budget::unlimited(),
+            threads: bpi_semantics::default_threads(),
         }
     }
 
     /// Replaces the checker's resource envelope.
     pub fn with_budget(mut self, budget: Budget) -> Checker<'d> {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). The answer
+    /// is identical at every thread count; only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Checker<'d> {
+        self.threads = threads.max(1);
         self
     }
 
@@ -178,10 +206,12 @@ impl<'d> Checker<'d> {
     /// Builds both graphs (through the global graph memo, so the six
     /// variants of [`all_variants`] and the congruence/diagnostic layers
     /// share one build per *(process, pool)*) and computes the greatest
-    /// bisimulation between them for the chosen variant with the
-    /// worklist engine. `Err` when either graph exceeds the state budget
+    /// bisimulation between them for the chosen variant with the engine
+    /// [`refine_auto`] picks for `self.threads` and the product size.
+    /// `Err` when either graph exceeds the state budget
     /// (`opts.max_states` ∧ `budget`) or the budget's
-    /// deadline/cancellation fires.
+    /// deadline/cancellation fires — the same `Err` at every thread
+    /// count.
     pub fn try_fixpoint(
         &self,
         v: Variant,
@@ -189,9 +219,23 @@ impl<'d> Checker<'d> {
         q: &P,
     ) -> Result<(Arc<Graph>, Arc<Graph>, PairRelation), EngineError> {
         let pool = shared_pool(p, q, self.opts.fresh_inputs);
-        let g1 = Graph::build_cached(p, self.defs, &pool, self.opts, &self.budget)?;
-        let g2 = Graph::build_cached(q, self.defs, &pool, self.opts, &self.budget)?;
-        let rel = refine_worklist(v, &g1, &g2);
+        let g1 = Graph::build_cached_threads(
+            p,
+            self.defs,
+            &pool,
+            self.opts,
+            &self.budget,
+            self.threads,
+        )?;
+        let g2 = Graph::build_cached_threads(
+            q,
+            self.defs,
+            &pool,
+            self.opts,
+            &self.budget,
+            self.threads,
+        )?;
+        let rel = refine_auto(v, &g1, &g2, self.threads);
         Ok((g1, g2, rel))
     }
 
@@ -264,39 +308,69 @@ pub fn refine(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
 /// τ-closures (`⇒ —α→ ⇒`), which reach arbitrarily far, so `deps[x]` is
 /// the inverse *transitive* reachability over all edges — a sound
 /// over-approximation of "can appear in some weak match set".
-fn dependents(g: &Graph, weak: bool) -> Vec<Vec<usize>> {
+type DepSets = Vec<Vec<usize>>;
+
+fn dependents(g: &Graph, weak: bool) -> DepSets {
     let n = g.len();
-    let mut preds: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
-    for (i, es) in g.edges.iter().enumerate() {
-        for (_, j) in es {
-            preds[*j].insert(i);
-        }
-    }
+    let csr = g.csr();
     (0..n)
         .map(|x| {
             let mut seen = BTreeSet::from([x]);
             if weak {
                 let mut work = vec![x];
                 while let Some(k) = work.pop() {
-                    for &p in &preds[k] {
-                        if seen.insert(p) {
-                            work.push(p);
+                    for &(_, p) in csr.preds_of(k) {
+                        if seen.insert(p as usize) {
+                            work.push(p as usize);
                         }
                     }
                 }
             } else {
-                seen.extend(preds[x].iter().copied());
+                seen.extend(csr.preds_of(x).iter().map(|&(_, p)| p as usize));
             }
             seen.into_iter().collect()
         })
         .collect()
 }
 
+/// Pair-count threshold below which the indexed engines fall back to the
+/// naive sweep: on small products, building the predecessor index and
+/// the queued bitmap costs more than it saves (the BENCH_2 `scaled-sums`
+/// family sits at ~289 pairs and regressed to 0.72× under the worklist
+/// before this cutover). The crossover is recorded in `DESIGN.md` §8.
+const NAIVE_MAX_PAIRS: usize = 1024;
+
+/// Pair-count threshold below which [`refine_auto`] stays sequential
+/// even when threads are available: spawning a crossbeam scope per round
+/// dominates the work on small products.
+const PARALLEL_MIN_PAIRS: usize = 4096;
+
+/// Dirty-set size below which a [`refine_parallel`] round runs inline on
+/// the calling thread instead of spawning workers — late rounds usually
+/// re-check a handful of pairs, and a scope spawn per tiny round would
+/// swamp them.
+const PAR_ROUND_MIN: usize = 2048;
+
 /// Predecessor-indexed worklist refinement: computes the same greatest
 /// fixpoint as [`refine`], but killing a pair `(x, y)` re-enqueues only
 /// the pairs in `deps₁(x) × deps₂(y)` whose checks could have referenced
 /// it, instead of re-sweeping all `n₁·n₂` pairs.
+///
+/// Below [`NAIVE_MAX_PAIRS`] pairs this dispatches to [`refine`]: the
+/// fixpoints are identical, and the naive sweep wins once index
+/// construction can't amortise.
 pub fn refine_worklist(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
+    if g1.len() * g2.len() <= NAIVE_MAX_PAIRS {
+        refine(v, g1, g2)
+    } else {
+        refine_worklist_indexed(v, g1, g2)
+    }
+}
+
+/// The worklist engine proper, with no small-product cutover — exposed
+/// within the crate so the oracle tests can exercise the indexed path on
+/// graphs of every size.
+pub(crate) fn refine_worklist_indexed(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
     let (n1, n2) = (g1.len(), g2.len());
     let mut pr = PairRelation::full(n1, n2);
     if n1 == 0 || n2 == 0 {
@@ -329,6 +403,135 @@ pub fn refine_worklist(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
         }
     }
     pr
+}
+
+/// Round-synchronous parallel refinement (Jacobi iteration in the
+/// Kanellakis–Smolka signature style): each round re-checks the current
+/// dirty pairs against an immutable snapshot of the relation, kills the
+/// violators, and seeds the next dirty set from the predecessor
+/// dependencies of the kills.
+///
+/// Large rounds are split into contiguous chunks across crossbeam scoped
+/// workers, each filling a private kill buffer; buffers are concatenated
+/// in chunk order. **Determinism:** a round's kill set is
+/// `{(i,j) ∈ dirty : rel[i][j] ∧ ¬transfer((i,j), rel)}` — a pure
+/// function of `(dirty, rel)` independent of the partitioning — and the
+/// next dirty set is sorted before use, so the relation after every
+/// round, and hence the final fixpoint, is bit-identical at every thread
+/// count. Equality with [`refine`] / [`refine_worklist`] follows from
+/// the chaotic-iteration argument: all three schedules re-examine every
+/// pair whose check might have changed, so all converge to the same
+/// greatest fixpoint of the monotone transfer operator.
+pub fn refine_parallel(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> PairRelation {
+    let threads = threads.max(1);
+    let (n1, n2) = (g1.len(), g2.len());
+    let mut pr = PairRelation::full(n1, n2);
+    if n1 == 0 || n2 == 0 {
+        return pr;
+    }
+    let mut dirty: Vec<(u32, u32)> = (0..n1 as u32)
+        .flat_map(|i| (0..n2 as u32).map(move |j| (i, j)))
+        .collect();
+    // Dependency sets are only needed once something dies; bisimilar
+    // pairs of graphs never pay for them.
+    let mut deps: Option<(DepSets, DepSets)> = None;
+    let mut queued = vec![false; n1 * n2];
+    while !dirty.is_empty() {
+        let kills = check_round(v, g1, g2, &pr, &dirty, threads);
+        if kills.is_empty() {
+            break;
+        }
+        for &(i, j) in &kills {
+            pr.rel[i as usize][j as usize] = false;
+        }
+        let (dep1, dep2) =
+            deps.get_or_insert_with(|| (dependents(g1, v.is_weak()), dependents(g2, v.is_weak())));
+        let mut next: Vec<(u32, u32)> = Vec::new();
+        for &(i, j) in &kills {
+            for &pi in &dep1[i as usize] {
+                for &pj in &dep2[j as usize] {
+                    if pr.rel[pi][pj] && !queued[pi * n2 + pj] {
+                        queued[pi * n2 + pj] = true;
+                        next.push((pi as u32, pj as u32));
+                    }
+                }
+            }
+        }
+        for &(i, j) in &next {
+            queued[i as usize * n2 + j as usize] = false;
+        }
+        next.sort_unstable();
+        dirty = next;
+    }
+    pr
+}
+
+/// One refinement round: the pairs of `dirty` that are still in the
+/// relation but now violate the transfer property. Chunked across
+/// crossbeam workers when the round is large enough to amortise the
+/// scope; the sequential and chunked paths filter the same slice in the
+/// same order, so the result is identical either way.
+fn check_round(
+    v: Variant,
+    g1: &Graph,
+    g2: &Graph,
+    pr: &PairRelation,
+    dirty: &[(u32, u32)],
+    threads: usize,
+) -> Vec<(u32, u32)> {
+    let check = |i: usize, j: usize| {
+        let fwd = RelView::new(&pr.rel, false);
+        let bwd = RelView::new(&pr.rel, true);
+        pr.rel[i][j] && !(direction(v, g1, i, g2, j, fwd) && direction(v, g2, j, g1, i, bwd))
+    };
+    if threads <= 1 || dirty.len() < PAR_ROUND_MIN {
+        return dirty
+            .iter()
+            .copied()
+            .filter(|&(i, j)| check(i as usize, j as usize))
+            .collect();
+    }
+    let chunk = dirty.len().div_ceil(threads);
+    let slots: Vec<Mutex<Vec<(u32, u32)>>> = dirty
+        .chunks(chunk)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
+    crossbeam::scope(|s| {
+        for (part, slot) in dirty.chunks(chunk).zip(&slots) {
+            let check = &check;
+            s.spawn(move |_| {
+                let mut local = Vec::new();
+                for &(i, j) in part {
+                    if check(i as usize, j as usize) {
+                        local.push((i, j));
+                    }
+                }
+                *slot.lock() = local;
+            });
+        }
+    })
+    // The workers only read the graphs and the snapshot; a panic here is
+    // a bug in `direction` and would have unwound sequentially too.
+    .expect("refinement worker panicked");
+    let mut kills = Vec::new();
+    for slot in slots {
+        kills.extend(slot.into_inner());
+    }
+    kills
+}
+
+/// Engine dispatch used by the [`Checker`]: the naive sweep below
+/// [`NAIVE_MAX_PAIRS`] pairs (via [`refine_worklist`]'s own cutover),
+/// the round-parallel engine when threads are available and the product
+/// reaches [`PARALLEL_MIN_PAIRS`], the sequential worklist otherwise.
+/// All three return the same relation, so the choice is invisible to
+/// callers.
+pub fn refine_auto(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> PairRelation {
+    if threads > 1 && g1.len() * g2.len() >= PARALLEL_MIN_PAIRS {
+        refine_parallel(v, g1, g2, threads)
+    } else {
+        refine_worklist(v, g1, g2)
+    }
 }
 
 /// One direction of the transfer property: every move of `(ga, i)` is
@@ -383,20 +586,26 @@ pub fn direction(v: Variant, ga: &Graph, i: usize, gb: &Graph, j: usize, rel: Re
 }
 
 fn strong_labelled_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<'_>) -> bool {
-    // 1–3: explicit moves of i.
-    for (act, i2) in &ga.edges[i] {
+    // 1–3: explicit moves of i. Labels are interned per graph, so
+    // cross-graph matching translates i's label into j's id space once
+    // and then compares dense ids instead of structural `Action`s.
+    for (lid, i2) in ga.edge_ids(i) {
+        let act = ga.label(lid);
+        let blid = gb.csr().label_id(act);
         let matched = match act {
-            Action::Tau => gb.tau_succs(j).any(|j2| rel.holds(*i2, j2)),
-            Action::Output { .. } => gb.edges[j]
-                .iter()
-                .any(|(b, j2)| b == act && rel.holds(*i2, *j2)),
+            Action::Tau => gb.tau_succs(j).any(|j2| rel.holds(i2, j2)),
+            Action::Output { .. } => match blid {
+                Some(bl) => gb.edge_ids(j).any(|(l, j2)| l == bl && rel.holds(i2, j2)),
+                None => false,
+            },
             Action::Input { chan, .. } => {
                 // a(b)? moves of j: real inputs with this label, or j
                 // itself when j discards the channel.
-                let real = gb.edges[j]
-                    .iter()
-                    .any(|(b, j2)| b == act && rel.holds(*i2, *j2));
-                real || (gb.state_discards(j, *chan) && rel.holds(*i2, j))
+                let real = match blid {
+                    Some(bl) => gb.edge_ids(j).any(|(l, j2)| l == bl && rel.holds(i2, j2)),
+                    None => false,
+                };
+                real || (gb.state_discards(j, *chan) && rel.holds(i2, j))
             }
             Action::Discard { .. } => true, // not stored as edges
         };
@@ -412,10 +621,11 @@ fn strong_labelled_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<
         // j is listening on a: each of its concrete a(b̃) inputs is an
         // a(b̃)?-move candidate; for every tuple (all pool tuples appear
         // as labels) some receipt of j must stay related to i.
-        let mut labels: BTreeSet<&Action> = BTreeSet::new();
-        for (act, _) in gb.input_edges(j) {
-            if act.subject() == Some(a) {
-                labels.insert(act);
+        let mut labels: BTreeSet<u32> = BTreeSet::new();
+        for (lid, _) in gb.edge_ids(j) {
+            let act = gb.label(lid);
+            if act.is_input() && act.subject() == Some(a) {
+                labels.insert(lid);
             }
         }
         if labels.is_empty() {
@@ -424,9 +634,7 @@ fn strong_labelled_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<
             return false;
         }
         for lab in labels {
-            let ok = gb.edges[j]
-                .iter()
-                .any(|(b, j2)| b == lab && rel.holds(i, *j2));
+            let ok = gb.edge_ids(j).any(|(l, j2)| l == lab && rel.holds(i, j2));
             if !ok {
                 return false;
             }
@@ -436,19 +644,20 @@ fn strong_labelled_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<
 }
 
 fn weak_labelled_dir(ga: &Graph, i: usize, gb: &Graph, j: usize, rel: RelView<'_>) -> bool {
-    for (act, i2) in &ga.edges[i] {
+    for (lid, i2) in ga.edge_ids(i) {
+        let act = ga.label(lid);
         let matched = match act {
-            Action::Tau => gb.tau_closure(j).iter().any(|&j2| rel.holds(*i2, j2)),
-            Action::Output { .. } => gb.weak_label(j, act).iter().any(|&j2| rel.holds(*i2, j2)),
+            Action::Tau => gb.tau_closure(j).iter().any(|&j2| rel.holds(i2, j2)),
+            Action::Output { .. } => gb.weak_label(j, act).iter().any(|&j2| rel.holds(i2, j2)),
             Action::Input { chan, .. } => {
                 // Candidates are the weak same-label moves plus the weak
                 // discards; checked in sequence so the cached sets stay
                 // shared instead of being merged into a scratch set.
-                gb.weak_label(j, act).iter().any(|&j2| rel.holds(*i2, j2))
+                gb.weak_label(j, act).iter().any(|&j2| rel.holds(i2, j2))
                     || gb
                         .weak_discard(j, *chan)
                         .iter()
-                        .any(|&j2| rel.holds(*i2, j2))
+                        .any(|&j2| rel.holds(i2, j2))
             }
             Action::Discard { .. } => true,
         };
@@ -524,11 +733,9 @@ pub fn all_variants(p: &P, q: &P, defs: &Defs) -> [(Variant, bool); 6] {
 /// The subset of the pool a state graph mentions; useful in diagnostics.
 pub fn graph_channels(g: &Graph) -> Vec<Name> {
     let mut s = bpi_core::name::NameSet::new();
-    for es in &g.edges {
-        for (act, _) in es {
-            if let Some(a) = act.subject() {
-                s.insert(a);
-            }
+    for act in g.csr().labels() {
+        if let Some(a) = act.subject() {
+            s.insert(a);
         }
     }
     s.to_vec()
@@ -792,8 +999,15 @@ mod tests {
                 Variant::WeakLabelled,
             ] {
                 let naive = refine(v, &g1, &g2);
-                let fast = refine_worklist(v, &g1, &g2);
+                let fast = refine_worklist_indexed(v, &g1, &g2);
                 assert_eq!(naive.rel, fast.rel, "{v:?} diverged on {p} vs {q}");
+                for threads in [1, 2, 4] {
+                    let par = refine_parallel(v, &g1, &g2, threads);
+                    assert_eq!(
+                        naive.rel, par.rel,
+                        "{v:?} parallel({threads}) diverged on {p} vs {q}"
+                    );
+                }
             }
         }
     }

@@ -220,7 +220,8 @@ fn dir_explain(
         }
     }
     // Move mismatch.
-    for (act, i2) in &ga.edges[i] {
+    for (lid, i2) in ga.edge_ids(i) {
+        let act = ga.label(lid);
         let considered = match v {
             Variant::StrongBarbed | Variant::WeakBarbed => matches!(act, Action::Tau),
             Variant::StrongStep | Variant::WeakStep => act.is_step_move(),
@@ -231,7 +232,7 @@ fn dir_explain(
         }
         // The opponent's candidate answers for this label.
         let answers: Vec<usize> = opponent_answers(v, gb, j, act);
-        if answers.iter().any(|&j2| rl(*i2, j2)) {
+        if answers.iter().any(|&j2| rl(i2, j2)) {
             continue; // matched
         }
         // Unmatched: recurse into each answer to explain why its
@@ -246,9 +247,9 @@ fn dir_explain(
             .iter()
             .map(|&j2| {
                 let d = if transposed {
-                    explain_pair(v, gb, j2, ga, *i2, rel, budget)
+                    explain_pair(v, gb, j2, ga, i2, rel, budget)
                 } else {
-                    explain_pair(v, ga, *i2, gb, j2, rel, budget)
+                    explain_pair(v, ga, i2, gb, j2, rel, budget)
                 };
                 // Whether the mover's residual is the satisfying side:
                 // in the non-transposed call the residual is the first
@@ -272,26 +273,32 @@ fn opponent_answers(v: Variant, gb: &Graph, j: usize, act: &Action) -> Vec<usize
         Variant::WeakBarbed => gb.tau_closure(j).iter().copied().collect(),
         Variant::StrongStep => gb.step_edges(j).map(|(_, k)| k).collect(),
         Variant::WeakStep => gb.step_closure(j).iter().copied().collect(),
-        Variant::StrongLabelled => match act {
-            Action::Tau => gb.tau_succs(j).collect(),
-            Action::Output { .. } => gb.edges[j]
-                .iter()
-                .filter(|(b, _)| b == act)
-                .map(|(_, k)| *k)
-                .collect(),
-            Action::Input { chan, .. } => {
-                let mut out: Vec<usize> = gb.edges[j]
-                    .iter()
-                    .filter(|(b, _)| b == act)
-                    .map(|(_, k)| *k)
-                    .collect();
-                if gb.state_discards(j, *chan) {
-                    out.push(j);
+        Variant::StrongLabelled => {
+            // Same-label answers compare interned ids after translating
+            // the mover's label into the opponent's id space.
+            let same = |gb: &Graph| -> Vec<usize> {
+                match gb.csr().label_id(act) {
+                    Some(bl) => gb
+                        .edge_ids(j)
+                        .filter(|&(l, _)| l == bl)
+                        .map(|(_, k)| k)
+                        .collect(),
+                    None => Vec::new(),
                 }
-                out
+            };
+            match act {
+                Action::Tau => gb.tau_succs(j).collect(),
+                Action::Output { .. } => same(gb),
+                Action::Input { chan, .. } => {
+                    let mut out = same(gb);
+                    if gb.state_discards(j, *chan) {
+                        out.push(j);
+                    }
+                    out
+                }
+                Action::Discard { .. } => vec![j],
             }
-            Action::Discard { .. } => vec![j],
-        },
+        }
         Variant::WeakLabelled => match act {
             Action::Tau => gb.tau_closure(j).iter().copied().collect(),
             Action::Output { .. } => gb.weak_label(j, act).iter().copied().collect(),

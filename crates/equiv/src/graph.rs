@@ -25,10 +25,11 @@ use bpi_core::subst::Subst;
 use bpi_core::syntax::{Defs, P};
 use bpi_core::Consed;
 use bpi_semantics::budget::{Budget, EngineError};
+use bpi_semantics::frontier::{expand_frontier, renumber_bfs, Expansion};
 use bpi_semantics::lts::{tuples, Lts};
 use bpi_semantics::{input_transitions_cached, normalize_state_cached, step_transitions_cached};
 use parking_lot::RwLock;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::{Arc, LazyLock, OnceLock};
 
 /// Options for graph construction and bisimulation checking.
@@ -54,27 +55,280 @@ impl Default for Opts {
 
 /// The reachable, pool-instantiated, label-normalised LTS of one process.
 pub struct Graph {
-    /// α-canonical state representatives; index 0 is the seed.
+    /// α-canonical state representatives; index 0 is the seed, and the
+    /// numbering is canonical breadth-first discovery order (identical
+    /// for [`Graph::build`] and [`Graph::build_parallel`]).
     pub states: Vec<P>,
     /// Outgoing `τ`/output/input edges (no discard edges; see
-    /// [`Graph::state_discards`]).
+    /// [`Graph::state_discards`]), in derivation order. The checkers read
+    /// the flattened [`Csr`] mirror instead; this nested form is kept as
+    /// the construction-order source of truth for display, tests, and
+    /// the congruence layer.
     pub edges: Vec<Vec<(Action, usize)>>,
     /// Per state, the pool channels it discards.
     pub discarding: Vec<NameSet>,
     /// The global input pool used during construction.
     pub pool: Vec<Name>,
+    /// Flattened compressed-sparse-row mirror of `edges` with interned
+    /// label ids; built once at construction.
+    csr: Csr,
     /// Lazily filled per-state query caches (closures, barbs, weak move
     /// sets); the fixpoint checkers hit the same states thousands of
     /// times.
     caches: GraphCaches,
 }
 
+/// Label-kind bits precomputed per interned label id.
+const K_TAU: u8 = 1;
+const K_OUT: u8 = 2;
+const K_IN: u8 = 4;
+const K_STEP: u8 = K_TAU | K_OUT;
+
+/// Compressed-sparse-row form of a graph's transition structure.
+///
+/// Labels are interned into a sorted table so edge scans compare dense
+/// `u32` ids instead of hashing `Action` trees, and per-label kind /
+/// subject / arity lookups are array reads. The per-label predecessor
+/// CSR (`preds`) that the worklist refiner needs is built lazily — small
+/// graphs dispatched to the naive refiner never pay for it.
+pub struct Csr {
+    /// Sorted, deduplicated table of every label occurring on an edge.
+    labels: Vec<Action>,
+    label_index: HashMap<Action, u32>,
+    /// Kind bits (`τ`/output/input) per label id.
+    kinds: Vec<u8>,
+    /// Dense channel id of each label's subject (`u32::MAX` for `τ`).
+    label_chan: Vec<u32>,
+    /// Object arity of each label.
+    label_arity: Vec<u32>,
+    /// `offsets[i]..offsets[i + 1]` spans state `i`'s edges in the flat
+    /// arrays below; `offsets.len() == n + 1`.
+    offsets: Vec<u32>,
+    edge_labels: Vec<u32>,
+    edge_targets: Vec<u32>,
+    /// Dense channel table: pool names, discardable names, and every
+    /// label subject. Queries about channels outside the table answer
+    /// "empty" without touching any cache.
+    chans: Vec<Name>,
+    chan_index: HashMap<Name, u32>,
+    /// Per-target predecessor blocks, sorted by (label id, source) within
+    /// each block so a single label's predecessors are one subrange.
+    preds: OnceLock<PredCsr>,
+}
+
+/// The lazily built predecessor index: for each target state `t`,
+/// `entries[offsets[t]..offsets[t + 1]]` lists `(label id, source)` pairs
+/// of every edge into `t`, sorted.
+pub struct PredCsr {
+    offsets: Vec<u32>,
+    entries: Vec<(u32, u32)>,
+}
+
+impl Csr {
+    fn build(edges: &[Vec<(Action, usize)>], pool: &[Name], discarding: &[NameSet]) -> Csr {
+        let mut label_set: BTreeSet<&Action> = BTreeSet::new();
+        for es in edges {
+            for (a, _) in es {
+                label_set.insert(a);
+            }
+        }
+        let labels: Vec<Action> = label_set.into_iter().cloned().collect();
+        let label_index: HashMap<Action, u32> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i as u32))
+            .collect();
+
+        let mut chan_set: BTreeSet<Name> = pool.iter().copied().collect();
+        for d in discarding {
+            for n in d.iter() {
+                chan_set.insert(n);
+            }
+        }
+        for a in &labels {
+            if let Some(c) = a.subject() {
+                chan_set.insert(c);
+            }
+        }
+        let chans: Vec<Name> = chan_set.into_iter().collect();
+        let chan_index: HashMap<Name, u32> = chans
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+
+        let mut kinds = Vec::with_capacity(labels.len());
+        let mut label_chan = Vec::with_capacity(labels.len());
+        let mut label_arity = Vec::with_capacity(labels.len());
+        for a in &labels {
+            kinds.push(match a {
+                Action::Tau => K_TAU,
+                Action::Output { .. } => K_OUT,
+                Action::Input { .. } => K_IN,
+                Action::Discard { .. } => 0,
+            });
+            label_chan.push(a.subject().map_or(u32::MAX, |c| chan_index[&c]));
+            label_arity.push(a.objects().len() as u32);
+        }
+
+        let total: usize = edges.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(edges.len() + 1);
+        let mut edge_labels = Vec::with_capacity(total);
+        let mut edge_targets = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for es in edges {
+            for (a, j) in es {
+                edge_labels.push(label_index[a]);
+                edge_targets.push(*j as u32);
+            }
+            offsets.push(edge_labels.len() as u32);
+        }
+        Csr {
+            labels,
+            label_index,
+            kinds,
+            label_chan,
+            label_arity,
+            offsets,
+            edge_labels,
+            edge_targets,
+            chans,
+            chan_index,
+            preds: OnceLock::new(),
+        }
+    }
+
+    /// Number of distinct edge labels.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of channels in the dense channel table.
+    pub fn num_chans(&self) -> usize {
+        self.chans.len()
+    }
+
+    /// Total edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edge_targets.len()
+    }
+
+    /// The interned label table, sorted.
+    pub fn labels(&self) -> &[Action] {
+        &self.labels
+    }
+
+    /// The dense id of `label`, if it occurs in this graph.
+    pub fn label_id(&self, label: &Action) -> Option<u32> {
+        self.label_index.get(label).copied()
+    }
+
+    /// The dense id of channel `a`, if it is in the channel table.
+    pub fn chan_id(&self, a: Name) -> Option<u32> {
+        self.chan_index.get(&a).copied()
+    }
+
+    /// Kind bits of label `lid`.
+    fn kind(&self, lid: u32) -> u8 {
+        self.kinds[lid as usize]
+    }
+
+    /// State `i`'s edge span in the flat arrays.
+    fn range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// The predecessor index, built on first use.
+    pub fn preds(&self) -> &PredCsr {
+        self.preds.get_or_init(|| {
+            let n = self.offsets.len() - 1;
+            let mut offsets = vec![0u32; n + 1];
+            for &t in &self.edge_targets {
+                offsets[t as usize + 1] += 1;
+            }
+            for i in 0..n {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor = offsets.clone();
+            let mut entries = vec![(0u32, 0u32); self.edge_targets.len()];
+            for i in 0..n {
+                for e in self.range(i) {
+                    let t = self.edge_targets[e] as usize;
+                    entries[cursor[t] as usize] = (self.edge_labels[e], i as u32);
+                    cursor[t] += 1;
+                }
+            }
+            for t in 0..n {
+                entries[offsets[t] as usize..offsets[t + 1] as usize].sort_unstable();
+            }
+            PredCsr { offsets, entries }
+        })
+    }
+
+    /// `(label id, source)` pairs of every edge into state `i`.
+    pub fn preds_of(&self, i: usize) -> &[(u32, u32)] {
+        let p = self.preds();
+        &p.entries[p.offsets[i] as usize..p.offsets[i + 1] as usize]
+    }
+
+    /// The predecessors of `i` along edges labelled `lid` (one binary
+    /// searched subrange of the per-target block).
+    pub fn preds_of_label(&self, i: usize, lid: u32) -> &[(u32, u32)] {
+        let block = self.preds_of(i);
+        let lo = block.partition_point(|&(l, _)| l < lid);
+        let hi = block.partition_point(|&(l, _)| l <= lid);
+        &block[lo..hi]
+    }
+}
+
 /// Interior-mutability caches for the per-state derived queries. Every
 /// entry is a pure function of the (immutable) edge structure, so a
-/// cached value is valid for the graph's whole lifetime.
+/// cached value is valid for the graph's whole lifetime. Racing
+/// initialisations compute the same pure value, so concurrent refiner
+/// workers can share a graph freely.
 type CachedSet = OnceLock<Arc<BTreeSet<usize>>>;
-type KeyedSets<K> = RwLock<HashMap<K, Arc<BTreeSet<usize>>>>;
-type KeyedLabels = RwLock<HashMap<(usize, Name), Arc<BTreeSet<Action>>>>;
+
+/// Entries per dense key space before a [`Keyed`] cache falls back from
+/// a flat `OnceLock` slab to a locked map.
+const SLAB_CAP: usize = 1 << 20;
+
+/// A cache over a bounded dense key space (state × label, state ×
+/// channel, …): a flat lazily-allocated `OnceLock` slab when the space
+/// is small enough to index directly, a `RwLock`ed map for the rare huge
+/// products.
+struct Keyed<T> {
+    len: usize,
+    slab: OnceLock<Box<[OnceLock<T>]>>,
+    map: RwLock<HashMap<usize, T>>,
+}
+
+impl<T: Clone> Keyed<T> {
+    fn new(len: usize) -> Keyed<T> {
+        Keyed {
+            len,
+            slab: OnceLock::new(),
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_init(&self, idx: usize, f: impl FnOnce() -> T) -> T {
+        if self.len <= SLAB_CAP {
+            let slab = self
+                .slab
+                .get_or_init(|| (0..self.len).map(|_| OnceLock::new()).collect());
+            slab[idx].get_or_init(f).clone()
+        } else {
+            if let Some(v) = self.map.read().get(&idx) {
+                return v.clone();
+            }
+            let v = f();
+            self.map.write().entry(idx).or_insert(v).clone()
+        }
+    }
+}
+
+static EMPTY_STATES: LazyLock<Arc<BTreeSet<usize>>> = LazyLock::new(|| Arc::new(BTreeSet::new()));
+static EMPTY_ACTIONS: LazyLock<Arc<BTreeSet<Action>>> = LazyLock::new(|| Arc::new(BTreeSet::new()));
 
 struct GraphCaches {
     tau_closure: Vec<CachedSet>,
@@ -82,24 +336,28 @@ struct GraphCaches {
     strong_barbs: Vec<OnceLock<NameSet>>,
     weak_barbs: Vec<OnceLock<NameSet>>,
     weak_step_barbs: Vec<OnceLock<NameSet>>,
-    weak_label: KeyedSets<(usize, Action)>,
-    weak_discard: KeyedSets<(usize, Name)>,
-    weak_input_labels: KeyedLabels,
-    arities_on: KeyedSets<Name>,
+    /// Indexed `state * num_labels + label_id`.
+    weak_label: Keyed<Arc<BTreeSet<usize>>>,
+    /// Indexed `state * num_chans + chan_id`.
+    weak_discard: Keyed<Arc<BTreeSet<usize>>>,
+    /// Indexed `state * num_chans + chan_id`.
+    weak_input_labels: Keyed<Arc<BTreeSet<Action>>>,
+    /// Indexed `chan_id`.
+    arities_on: Keyed<Arc<BTreeSet<usize>>>,
 }
 
 impl GraphCaches {
-    fn new(n: usize) -> GraphCaches {
+    fn new(n: usize, labels: usize, chans: usize) -> GraphCaches {
         GraphCaches {
             tau_closure: (0..n).map(|_| OnceLock::new()).collect(),
             step_closure: (0..n).map(|_| OnceLock::new()).collect(),
             strong_barbs: (0..n).map(|_| OnceLock::new()).collect(),
             weak_barbs: (0..n).map(|_| OnceLock::new()).collect(),
             weak_step_barbs: (0..n).map(|_| OnceLock::new()).collect(),
-            weak_label: RwLock::new(HashMap::new()),
-            weak_discard: RwLock::new(HashMap::new()),
-            weak_input_labels: RwLock::new(HashMap::new()),
-            arities_on: RwLock::new(HashMap::new()),
+            weak_label: Keyed::new(n * labels),
+            weak_discard: Keyed::new(n * chans),
+            weak_input_labels: Keyed::new(n * chans),
+            arities_on: Keyed::new(chans),
         }
     }
 }
@@ -222,9 +480,11 @@ impl Graph {
         let s0 = normalize_state_cached(seed, None);
         index.insert(bpi_core::cons(&s0), 0);
         states.push(s0);
-        let mut work = vec![0usize];
+        // FIFO expansion: state numbering is then canonical breadth-first
+        // discovery order, the same order `build_parallel` renumbers to.
+        let mut work = VecDeque::from([0usize]);
 
-        while let Some(i) = work.pop() {
+        while let Some(i) = work.pop_front() {
             budget.check(0)?;
             let src = states[i].clone();
             let src_free = bpi_core::cached_free_names(&src);
@@ -243,7 +503,7 @@ impl Graph {
                         cont: P,
                         states: &mut Vec<P>,
                         index: &mut HashMap<Consed, usize>,
-                        work: &mut Vec<usize>,
+                        work: &mut VecDeque<usize>,
                         out: &mut Vec<(Action, usize)>|
              -> Result<(), EngineError> {
                 let state = normalize_state_cached(&cont, None);
@@ -257,7 +517,7 @@ impl Graph {
                         let j = states.len();
                         index.insert(key, j);
                         states.push(state);
-                        work.push(j);
+                        work.push_back(j);
                         j
                     }
                 };
@@ -298,14 +558,97 @@ impl Graph {
             edges.push(Vec::new());
             discarding.push(NameSet::new());
         }
-        let caches = GraphCaches::new(states.len());
-        Ok(Graph {
+        Ok(Graph::from_parts(states, edges, discarding, pool.to_vec()))
+    }
+
+    /// Assembles a graph from its construction output: builds the CSR
+    /// mirror and the (empty) query caches.
+    fn from_parts(
+        states: Vec<P>,
+        edges: Vec<Vec<(Action, usize)>>,
+        discarding: Vec<NameSet>,
+        pool: Vec<Name>,
+    ) -> Graph {
+        let csr = Csr::build(&edges, &pool, &discarding);
+        let caches = GraphCaches::new(states.len(), csr.num_labels(), csr.num_chans());
+        Graph {
             states,
             edges,
             discarding,
-            pool: pool.to_vec(),
+            pool,
+            csr,
             caches,
-        })
+        }
+    }
+
+    /// [`Graph::build_with_budget`] across `threads` crossbeam workers,
+    /// reusing the shared frontier machinery of
+    /// [`bpi_semantics::frontier`]. The outcome is **bit-for-bit
+    /// identical** to the sequential build: per-state expansion is a pure
+    /// function of the state (so edge lists and discard sets agree), and
+    /// a canonical breadth-first renumber erases the scheduling-dependent
+    /// discovery order. Budget semantics replay exactly — exceeding the
+    /// state ceiling is a property of the reachable set, not of the
+    /// schedule, so the same typed error comes back at any thread count
+    /// (deadline/cancellation remain timing-dependent, as sequentially).
+    pub fn build_parallel(
+        seed: &P,
+        defs: &Defs,
+        pool: &[Name],
+        opts: Opts,
+        budget: &Budget,
+        threads: usize,
+    ) -> Result<Graph, EngineError> {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return Graph::build_with_budget(seed, defs, pool, opts, budget);
+        }
+        let pool_set = NameSet::from_iter(pool.iter().copied());
+        let cap = opts.max_states.min(budget.max_states());
+        let s0 = normalize_state_cached(seed, None);
+        let outcome = expand_frontier(
+            s0,
+            cap,
+            budget,
+            threads,
+            /* stop_on_cap */ true,
+            |src| {
+                let lts = Lts::new(defs);
+                let src_free = bpi_core::cached_free_names(src);
+                let mut dyn_pool = pool.to_vec();
+                for n in &src_free {
+                    if !pool_set.contains(n) && n.spelling().starts_with("#b") {
+                        dyn_pool.push(n);
+                    }
+                }
+                let avoid = src_free.union(&pool_set);
+                let mut succs = Vec::new();
+                for (act, cont) in step_transitions_cached(&lts, src).iter() {
+                    let (act, cont) = normalize_bound_output(act.clone(), cont.clone(), &avoid);
+                    succs.push((act, normalize_state_cached(&cont, None)));
+                }
+                for (act, cont) in input_transitions_cached(&lts, src, &dyn_pool).iter() {
+                    succs.push((act.clone(), normalize_state_cached(cont, None)));
+                }
+                let mut disc = NameSet::new();
+                for &a in &dyn_pool {
+                    if lts.discards(src, a) {
+                        disc.insert(a);
+                    }
+                }
+                Expansion { succs, meta: disc }
+            },
+        );
+        if let Some(e) = outcome.interrupted {
+            return Err(e);
+        }
+        let outcome = renumber_bfs(outcome);
+        Ok(Graph::from_parts(
+            outcome.states,
+            outcome.edges,
+            outcome.metas,
+            pool.to_vec(),
+        ))
     }
 
     /// [`Graph::build_with_budget`] through a global memo keyed by
@@ -325,6 +668,21 @@ impl Graph {
         opts: Opts,
         budget: &Budget,
     ) -> Result<Arc<Graph>, EngineError> {
+        Graph::build_cached_threads(seed, defs, pool, opts, budget, 1)
+    }
+
+    /// [`Graph::build_cached`] building cache misses with
+    /// [`Graph::build_parallel`] across `threads` workers. Because the
+    /// parallel build is bit-for-bit identical to the sequential one, the
+    /// memo may be shared freely between thread counts.
+    pub fn build_cached_threads(
+        seed: &P,
+        defs: &Defs,
+        pool: &[Name],
+        opts: Opts,
+        budget: &Budget,
+        threads: usize,
+    ) -> Result<Arc<Graph>, EngineError> {
         budget.check(0)?;
         let cap = opts.max_states.min(budget.max_states());
         let key = (bpi_core::cons(seed), defs.generation(), pool.to_vec());
@@ -334,7 +692,9 @@ impl Graph {
             }
             return Ok(g.clone());
         }
-        let g = Arc::new(Graph::build_with_budget(seed, defs, pool, opts, budget)?);
+        let g = Arc::new(Graph::build_parallel(
+            seed, defs, pool, opts, budget, threads,
+        )?);
         let mut memo = GRAPH_MEMO.write();
         if memo.len() >= GRAPH_MEMO_CAP {
             memo.clear();
@@ -352,36 +712,51 @@ impl Graph {
         self.states.is_empty()
     }
 
+    /// The CSR mirror of the transition structure (interned labels, flat
+    /// offset/target arrays, lazy predecessor index).
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// State `i`'s edges as `(label id, target)` pairs from the flat CSR
+    /// arrays — the allocation-free form the refiners iterate.
+    pub fn edge_ids(&self, i: usize) -> impl Iterator<Item = (u32, usize)> + '_ {
+        self.csr
+            .range(i)
+            .map(move |e| (self.csr.edge_labels[e], self.csr.edge_targets[e] as usize))
+    }
+
+    /// The interned label with id `lid`.
+    pub fn label(&self, lid: u32) -> &Action {
+        &self.csr.labels[lid as usize]
+    }
+
     /// τ-successors of state `i`.
     pub fn tau_succs(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
-        self.edges[i]
-            .iter()
-            .filter(|(a, _)| matches!(a, Action::Tau))
-            .map(|(_, j)| *j)
+        self.edge_ids(i)
+            .filter(|(l, _)| self.csr.kind(*l) & K_TAU != 0)
+            .map(|(_, j)| j)
     }
 
     /// Output edges of state `i`.
     pub fn out_edges(&self, i: usize) -> impl Iterator<Item = (&Action, usize)> + '_ {
-        self.edges[i]
-            .iter()
-            .filter(|(a, _)| a.is_output())
-            .map(|(a, j)| (a, *j))
+        self.edge_ids(i)
+            .filter(|(l, _)| self.csr.kind(*l) & K_OUT != 0)
+            .map(|(l, j)| (self.label(l), j))
     }
 
     /// Input edges of state `i`.
     pub fn input_edges(&self, i: usize) -> impl Iterator<Item = (&Action, usize)> + '_ {
-        self.edges[i]
-            .iter()
-            .filter(|(a, _)| a.is_input())
-            .map(|(a, j)| (a, *j))
+        self.edge_ids(i)
+            .filter(|(l, _)| self.csr.kind(*l) & K_IN != 0)
+            .map(|(l, j)| (self.label(l), j))
     }
 
     /// Step-move edges (`τ` or output) of state `i`.
     pub fn step_edges(&self, i: usize) -> impl Iterator<Item = (&Action, usize)> + '_ {
-        self.edges[i]
-            .iter()
-            .filter(|(a, _)| a.is_step_move())
-            .map(|(a, j)| (a, *j))
+        self.edge_ids(i)
+            .filter(|(l, _)| self.csr.kind(*l) & K_STEP != 0)
+            .map(|(l, j)| (self.label(l), j))
     }
 
     /// Whether state `i` discards channel `a`.
@@ -393,24 +768,27 @@ impl Graph {
     /// per state and shared.
     pub fn tau_closure(&self, i: usize) -> Arc<BTreeSet<usize>> {
         self.caches.tau_closure[i]
-            .get_or_init(|| Arc::new(self.closure(i, |a| matches!(a, Action::Tau))))
+            .get_or_init(|| Arc::new(self.closure(i, K_TAU)))
             .clone()
     }
 
     /// Step-closure of `i` (τ and outputs), including `i`. Cached.
     pub fn step_closure(&self, i: usize) -> Arc<BTreeSet<usize>> {
         self.caches.step_closure[i]
-            .get_or_init(|| Arc::new(self.closure(i, |a| a.is_step_move())))
+            .get_or_init(|| Arc::new(self.closure(i, K_STEP)))
             .clone()
     }
 
-    fn closure(&self, i: usize, keep: impl Fn(&Action) -> bool) -> BTreeSet<usize> {
+    fn closure(&self, i: usize, mask: u8) -> BTreeSet<usize> {
         let mut seen = BTreeSet::from([i]);
         let mut work = vec![i];
         while let Some(k) = work.pop() {
-            for (a, j) in &self.edges[k] {
-                if keep(a) && seen.insert(*j) {
-                    work.push(*j);
+            for e in self.csr.range(k) {
+                if self.csr.kinds[self.csr.edge_labels[e] as usize] & mask != 0 {
+                    let j = self.csr.edge_targets[e] as usize;
+                    if seen.insert(j) {
+                        work.push(j);
+                    }
                 }
             }
         }
@@ -451,83 +829,97 @@ impl Graph {
     }
 
     /// Weak moves `i ⇒ —α→ ⇒` for a specific non-τ label. Cached per
-    /// *(state, label)*.
+    /// *(state, label id)* in a dense slab; a label that never occurs in
+    /// this graph answers the shared empty set without caching anything.
     pub fn weak_label(&self, i: usize, label: &Action) -> Arc<BTreeSet<usize>> {
-        let key = (i, label.clone());
-        if let Some(v) = self.caches.weak_label.read().get(&key) {
-            return v.clone();
+        match self.csr.label_id(label) {
+            Some(lid) => self.weak_label_id(i, lid),
+            None => EMPTY_STATES.clone(),
         }
-        let mut out = BTreeSet::new();
-        for &j in self.tau_closure(i).iter() {
-            for (a, k) in &self.edges[j] {
-                if a == label {
-                    out.extend(self.tau_closure(*k).iter().copied());
+    }
+
+    /// [`Graph::weak_label`] by interned label id (the refiner hot path).
+    pub fn weak_label_id(&self, i: usize, lid: u32) -> Arc<BTreeSet<usize>> {
+        self.caches
+            .weak_label
+            .get_or_init(i * self.csr.num_labels() + lid as usize, || {
+                let mut out = BTreeSet::new();
+                for &j in self.tau_closure(i).iter() {
+                    for e in self.csr.range(j) {
+                        if self.csr.edge_labels[e] == lid {
+                            out.extend(
+                                self.tau_closure(self.csr.edge_targets[e] as usize)
+                                    .iter()
+                                    .copied(),
+                            );
+                        }
+                    }
                 }
-            }
-        }
-        let v = Arc::new(out);
-        self.caches.weak_label.write().insert(key, v.clone());
-        v
+                Arc::new(out)
+            })
     }
 
     /// Weak discard set: states `j'` with `i ⇒ j₁ —a:→ j₁ ⇒ j'` — i.e.
     /// τ-reachable continuations of τ-reachable states that discard `a`.
-    /// Cached per *(state, channel)*.
+    /// Cached per *(state, channel id)*; channels outside the table are
+    /// discarded by no state.
     pub fn weak_discard(&self, i: usize, a: Name) -> Arc<BTreeSet<usize>> {
-        if let Some(v) = self.caches.weak_discard.read().get(&(i, a)) {
-            return v.clone();
-        }
-        let mut out = BTreeSet::new();
-        for &j in self.tau_closure(i).iter() {
-            if self.state_discards(j, a) {
-                out.extend(self.tau_closure(j).iter().copied());
-            }
-        }
-        let v = Arc::new(out);
-        self.caches.weak_discard.write().insert((i, a), v.clone());
-        v
+        let Some(cid) = self.csr.chan_id(a) else {
+            return EMPTY_STATES.clone();
+        };
+        self.caches
+            .weak_discard
+            .get_or_init(i * self.csr.num_chans() + cid as usize, || {
+                let mut out = BTreeSet::new();
+                for &j in self.tau_closure(i).iter() {
+                    if self.state_discards(j, a) {
+                        out.extend(self.tau_closure(j).iter().copied());
+                    }
+                }
+                Arc::new(out)
+            })
     }
 
     /// All input labels on channel `a` reachable in the τ-closure of `i`
     /// (used when matching discard moves weakly). Cached per
-    /// *(state, channel)*.
+    /// *(state, channel id)*.
     pub fn weak_input_labels(&self, i: usize, a: Name) -> Arc<BTreeSet<Action>> {
-        if let Some(v) = self.caches.weak_input_labels.read().get(&(i, a)) {
-            return v.clone();
-        }
-        let mut out = BTreeSet::new();
-        for &j in self.tau_closure(i).iter() {
-            for (act, _) in self.input_edges(j) {
-                if act.subject() == Some(a) {
-                    out.insert(act.clone());
-                }
-            }
-        }
-        let v = Arc::new(out);
+        let Some(cid) = self.csr.chan_id(a) else {
+            return EMPTY_ACTIONS.clone();
+        };
         self.caches
             .weak_input_labels
-            .write()
-            .insert((i, a), v.clone());
-        v
+            .get_or_init(i * self.csr.num_chans() + cid as usize, || {
+                let mut out = BTreeSet::new();
+                for &j in self.tau_closure(i).iter() {
+                    for e in self.csr.range(j) {
+                        let lid = self.csr.edge_labels[e] as usize;
+                        if self.csr.kinds[lid] & K_IN != 0 && self.csr.label_chan[lid] == cid {
+                            out.insert(self.csr.labels[lid].clone());
+                        }
+                    }
+                }
+                Arc::new(out)
+            })
     }
 
     /// The arities at which any state of the graph listens on `a`.
-    /// Cached per channel (the uncached scan walks every edge).
+    /// Cached per channel id — and computed from the interned label
+    /// table alone (a label occurs there iff it occurs on some edge), so
+    /// even the cold path never walks the edges.
     pub fn arities_on(&self, a: Name) -> Arc<BTreeSet<usize>> {
-        if let Some(v) = self.caches.arities_on.read().get(&a) {
-            return v.clone();
-        }
-        let mut out = BTreeSet::new();
-        for es in &self.edges {
-            for (act, _) in es {
-                if act.is_input() && act.subject() == Some(a) {
-                    out.insert(act.objects().len());
+        let Some(cid) = self.csr.chan_id(a) else {
+            return EMPTY_STATES.clone();
+        };
+        self.caches.arities_on.get_or_init(cid as usize, || {
+            let mut out = BTreeSet::new();
+            for lid in 0..self.csr.num_labels() {
+                if self.csr.kinds[lid] & K_IN != 0 && self.csr.label_chan[lid] == cid {
+                    out.insert(self.csr.label_arity[lid] as usize);
                 }
             }
-        }
-        let v = Arc::new(out);
-        self.caches.arities_on.write().insert(a, v.clone());
-        v
+            Arc::new(out)
+        })
     }
 }
 
@@ -689,6 +1081,121 @@ mod tests {
             Graph::build_with_budget(&q, &defs, &pool, Opts::default(), &Budget::states(100))
                 .is_ok()
         );
+    }
+
+    #[test]
+    fn csr_mirrors_nested_edges() {
+        let defs = Defs::new();
+        let [a, x] = names(["a", "x"]);
+        let p = par(inp(a, [x], out_(x, [])), out_(a, [a]));
+        let pool = shared_pool(&p, &nil(), 1);
+        let g = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
+        let csr = g.csr();
+        assert_eq!(csr.num_edges(), g.edges.iter().map(Vec::len).sum::<usize>());
+        for i in 0..g.len() {
+            let flat: Vec<(Action, usize)> = g
+                .edge_ids(i)
+                .map(|(l, j)| (g.label(l).clone(), j))
+                .collect();
+            assert_eq!(flat, g.edges[i], "state {i} flat/nested mismatch");
+        }
+        // Predecessor index inverts the edge relation exactly.
+        let mut from_preds: Vec<(usize, Action, usize)> = Vec::new();
+        for t in 0..g.len() {
+            for &(lid, src) in csr.preds_of(t) {
+                from_preds.push((src as usize, g.label(lid).clone(), t));
+            }
+        }
+        let mut from_edges: Vec<(usize, Action, usize)> = Vec::new();
+        for (i, es) in g.edges.iter().enumerate() {
+            for (act, j) in es {
+                from_edges.push((i, act.clone(), *j));
+            }
+        }
+        from_preds.sort();
+        from_edges.sort();
+        assert_eq!(from_preds, from_edges);
+        // Per-label predecessor ranges partition each block.
+        for t in 0..g.len() {
+            let total: usize = (0..csr.num_labels() as u32)
+                .map(|lid| csr.preds_of_label(t, lid).len())
+                .sum();
+            assert_eq!(total, csr.preds_of(t).len());
+        }
+    }
+
+    #[test]
+    fn unknown_labels_and_channels_answer_empty() {
+        let defs = Defs::new();
+        let [a, zz] = names(["a", "zz"]);
+        let p = out_(a, []);
+        let pool = shared_pool(&p, &nil(), 1);
+        let g = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
+        assert!(g.csr().chan_id(zz).is_none());
+        assert!(g.weak_discard(0, zz).is_empty());
+        assert!(g.weak_input_labels(0, zz).is_empty());
+        assert!(g.arities_on(zz).is_empty());
+        let alien = Action::Output {
+            chan: zz,
+            objects: vec![],
+            bound: vec![],
+        };
+        assert!(g.csr().label_id(&alien).is_none());
+        assert!(g.weak_label(0, &alien).is_empty());
+    }
+
+    #[test]
+    fn build_parallel_is_bit_identical_to_sequential() {
+        let defs = Defs::new();
+        let [a, b, x] = names(["a", "b", "x"]);
+        let p = par(
+            inp(a, [x], out_(x, [])),
+            par(
+                out(a, [b], out_(b, [])),
+                sum(tau(out_(a, [])), inp_(b, [x])),
+            ),
+        );
+        let pool = shared_pool(&p, &nil(), 1);
+        let g1 = Graph::build(&p, &defs, &pool, Opts::default()).unwrap();
+        for threads in [2, 4] {
+            let g2 = Graph::build_parallel(
+                &p,
+                &defs,
+                &pool,
+                Opts::default(),
+                &Budget::unlimited(),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(g1.states, g2.states, "threads={threads}");
+            assert_eq!(g1.edges, g2.edges, "threads={threads}");
+            assert_eq!(
+                g1.discarding.iter().map(|d| d.to_vec()).collect::<Vec<_>>(),
+                g2.discarding.iter().map(|d| d.to_vec()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_parallel_replays_budget_errors() {
+        let defs = Defs::new();
+        let [a] = names(["a"]);
+        let xid = bpi_core::syntax::Ident::new("GPumpPar");
+        let p = rec(xid, [a], tau(par(out_(a, []), var(xid, [a]))), [a]);
+        let pool = shared_pool(&p, &nil(), 1);
+        let seq = Graph::build_with_budget(&p, &defs, &pool, Opts::default(), &Budget::states(4));
+        for threads in [2, 4] {
+            let par = Graph::build_parallel(
+                &p,
+                &defs,
+                &pool,
+                Opts::default(),
+                &Budget::states(4),
+                threads,
+            );
+            assert_eq!(par.as_ref().err(), seq.as_ref().err(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -27,16 +27,17 @@ pub mod testing;
 pub mod upto;
 
 pub use bisim::{
-    all_variants, refine, refine_worklist, strong_barbed_bisimilar, strong_bisimilar,
-    strong_step_bisimilar, weak_barbed_bisimilar, weak_bisimilar, weak_step_bisimilar, Checker,
-    PairRelation, Variant, Verdict,
+    all_variants, refine, refine_auto, refine_parallel, refine_worklist, strong_barbed_bisimilar,
+    strong_bisimilar, strong_step_bisimilar, weak_barbed_bisimilar, weak_bisimilar,
+    weak_step_bisimilar, Checker, PairRelation, Variant, Verdict,
 };
 pub use congruence::{
-    congruent_strong, congruent_weak, sim_plus, try_congruent_strong, try_congruent_weak,
-    try_sim_plus, try_weak_sim_plus, weak_sim_plus,
+    congruent_strong, congruent_weak, sim_plus, try_congruent_strong, try_congruent_strong_threads,
+    try_congruent_weak, try_congruent_weak_threads, try_sim_plus, try_weak_sim_plus, weak_sim_plus,
 };
+pub use contexts::{sampled_equivalence, sampled_equivalence_threads, StaticContext};
 pub use distinguish::{explain, try_explain, Distinction, Experiment, Side};
-pub use graph::{identification_substs, shared_pool, Graph, Opts};
+pub use graph::{identification_substs, shared_pool, Csr, Graph, Opts, PredCsr};
 pub use logic::{sat, satisfies, try_satisfies, Formula};
 pub use sensors::{sensor_context, sensors_separate, SensorBarbs};
 pub use testing::{may_equivalent_sampled, may_pass, trace_equivalent, traces, Test};

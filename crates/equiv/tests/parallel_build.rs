@@ -1,0 +1,91 @@
+//! Determinism of [`Graph::build_parallel`] across thread counts, on
+//! systems derived from the PR 1 fault-injection runtime
+//! ([`bpi_semantics::faults`]): noise processes, deafened listeners and
+//! their compositions exercise the recursive, discard-heavy corners of
+//! the state-space construction.
+//!
+//! The parallel build explores the frontier in nondeterministic worker
+//! order and then renumbers the result into canonical BFS order — which
+//! is exactly the sequential numbering — so every field of the graph
+//! (state list, edge lists, discard sets) must be **bit-identical** at
+//! every thread count, and a state-budget overflow must produce the
+//! identical typed error.
+
+use bpi_core::builder::*;
+use bpi_core::syntax::{Defs, Ident, P};
+use bpi_equiv::{shared_pool, Graph, Opts};
+use bpi_semantics::faults::{deafen, noise};
+use bpi_semantics::{Budget, EngineError};
+
+fn fault_systems() -> Vec<(P, &'static str)> {
+    let [a, b, c, x] = names(["a", "b", "c", "x"]);
+    let base = par(out(a, [b], out_(c, [])), inp(a, [x], out_(x, [])));
+    vec![
+        (par(base.clone(), noise(a, 1)), "listener under unary noise"),
+        (
+            par(deafen(&base, a), noise(b, 0)),
+            "deafened + nullary noise",
+        ),
+        (
+            new(c, par(base.clone(), noise(c, 0))),
+            "restricted noise channel",
+        ),
+        (
+            sum(deafen(&base, b), tau(noise(a, 1))),
+            "choice between deafened system and spawned noise",
+        ),
+    ]
+}
+
+#[test]
+fn build_parallel_is_deterministic_on_fault_systems() {
+    let defs = Defs::new();
+    let opts = Opts::default();
+    for (p, what) in fault_systems() {
+        let pool = shared_pool(&p, &p, opts.fresh_inputs);
+        let budget = Budget::unlimited();
+        let seq = Graph::build_parallel(&p, &defs, &pool, opts, &budget, 1)
+            .unwrap_or_else(|e| panic!("{what}: sequential build failed: {e:?}"));
+        assert!(seq.len() > 1, "{what}: trivial graph defeats the test");
+        for threads in [2, 4, 8] {
+            let par_g = Graph::build_parallel(&p, &defs, &pool, opts, &budget, threads)
+                .unwrap_or_else(|e| panic!("{what}: parallel build failed: {e:?}"));
+            assert_eq!(
+                seq.states, par_g.states,
+                "{what}: states diverged at {threads} threads"
+            );
+            assert_eq!(
+                seq.edges, par_g.edges,
+                "{what}: edges diverged at {threads} threads"
+            );
+            assert_eq!(
+                seq.discarding, par_g.discarding,
+                "{what}: discard sets diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn build_parallel_replays_budget_errors_on_unbounded_fault_system() {
+    // An unbounded spawner next to noise: every thread count must report
+    // the same typed overflow, because cap exceedance is a property of
+    // the reachable set, not of the worker schedule.
+    let defs = Defs::new();
+    let [a] = names(["a"]);
+    let id = Ident::new("FPump");
+    let pump = rec(id, [a], tau(par(out_(a, []), var(id, [a]))), [a]);
+    let p = par(pump, noise(a, 0));
+    let pool = shared_pool(&p, &p, Opts::default().fresh_inputs);
+    let budget = Budget::states(5);
+    let expected = Graph::build_parallel(&p, &defs, &pool, Opts::default(), &budget, 1)
+        .err()
+        .expect("the pump must exhaust 5 states");
+    assert_eq!(expected, EngineError::StateBudgetExceeded { limit: 5 });
+    for threads in [2, 4, 8] {
+        let got = Graph::build_parallel(&p, &defs, &pool, Opts::default(), &budget, threads)
+            .err()
+            .expect("overflow at every thread count");
+        assert_eq!(got, expected, "error diverged at {threads} threads");
+    }
+}

@@ -108,6 +108,14 @@ impl Budget {
         self.max_states
     }
 
+    /// Whether this budget can never trip: no state ceiling, no deadline,
+    /// no cancellation flag. Engines that fan work out across threads use
+    /// this to decide whether exact sequential budget-replay semantics
+    /// are at stake (a limited budget keeps them on the sequential path).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_states == usize::MAX && self.deadline.is_none() && self.cancel.is_none()
+    }
+
     /// Whether the cancellation flag (if any) has been raised.
     pub fn is_cancelled(&self) -> bool {
         self.cancel

@@ -20,9 +20,7 @@ use bpi_core::canon::canon;
 use bpi_core::name::{Name, NameSet};
 use bpi_core::subst::Subst;
 use bpi_core::syntax::{Defs, Prefix, Process, P};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Options controlling exploration.
 #[derive(Clone, Copy, Debug)]
@@ -393,60 +391,14 @@ pub fn explore_parallel(p: &P, defs: &Defs, opts: ExploreOpts, threads: usize) -
     explore_parallel_budgeted(p, defs, opts, threads, &Budget::unlimited())
 }
 
-/// Shared worker state for the parallel explorer.
-struct ParShared {
-    index: Mutex<HashMap<bpi_core::Consed, usize>>,
-    states: Mutex<Vec<P>>,
-    edges: Mutex<Vec<Vec<(Action, usize)>>>,
-    queue: Mutex<Vec<usize>>,
-    active: AtomicUsize,
-    /// Cooperative stop signal: raised on budget exhaustion,
-    /// cancellation, or a worker panic so the remaining workers drain
-    /// promptly instead of finishing the whole frontier.
-    stop: AtomicBool,
-    /// First recorded reason for stopping early.
-    interrupted: Mutex<Option<EngineError>>,
-}
-
-impl ParShared {
-    fn flag_stop(&self, e: EngineError) {
-        self.interrupted.lock().get_or_insert(e);
-        self.stop.store(true, Ordering::SeqCst);
-    }
-}
-
-/// Releases a worker's "active" claim even if the worker unwinds while
-/// expanding a state. Without this, a panicking worker would leave
-/// `active` forever non-zero and the surviving workers would spin
-/// waiting for a frontier that never drains.
-struct ActiveGuard<'a> {
-    shared: &'a ParShared,
-    done: bool,
-}
-
-impl<'a> ActiveGuard<'a> {
-    fn finish(mut self) {
-        self.done = true;
-        self.shared.active.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-impl<'a> Drop for ActiveGuard<'a> {
-    fn drop(&mut self) {
-        if !self.done {
-            self.shared.flag_stop(EngineError::WorkerPanicked);
-            self.shared.active.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-}
-
 /// [`explore_parallel`] under an explicit [`Budget`], with cooperative
 /// cancellation: every worker polls the budget once per expanded state
 /// and raises a shared stop flag on exhaustion, so all threads wind down
 /// quickly. A panicking worker degrades the same way — its claim is
 /// released, the other workers drain, and the partial graph comes back
 /// `truncated` with [`EngineError::WorkerPanicked`] recorded instead of
-/// the panic propagating.
+/// the panic propagating. The frontier/visited-table machinery lives in
+/// [`crate::frontier`], shared with `bpi-equiv`'s `Graph::build_parallel`.
 pub fn explore_parallel_budgeted(
     p: &P,
     defs: &Defs,
@@ -463,104 +415,26 @@ pub fn explore_parallel_budgeted(
     let norm = move |q: &P| crate::cache::normalize_state_cached(q, prot);
     let cap = opts.max_states.min(budget.max_states());
 
-    let p0 = norm(p);
-    let shared = ParShared {
-        index: Mutex::new(HashMap::from([(bpi_core::cons(&p0), 0usize)])),
-        states: Mutex::new(vec![p0]),
-        edges: Mutex::new(vec![Vec::new()]),
-        queue: Mutex::new(vec![0usize]),
-        active: AtomicUsize::new(0),
-        stop: AtomicBool::new(false),
-        interrupted: Mutex::new(None),
-    };
-
-    let scope_result = crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                let lts = Lts::new(defs);
-                loop {
-                    if shared.stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let task = {
-                        let mut q = shared.queue.lock();
-                        match q.pop() {
-                            Some(t) => {
-                                shared.active.fetch_add(1, Ordering::SeqCst);
-                                Some(t)
-                            }
-                            None => None,
-                        }
-                    };
-                    let Some(i) = task else {
-                        if shared.active.load(Ordering::SeqCst) == 0 {
-                            break;
-                        }
-                        std::thread::yield_now();
-                        continue;
-                    };
-                    let guard = ActiveGuard {
-                        shared: &shared,
-                        done: false,
-                    };
-                    if let Err(e) = budget.check(0) {
-                        // Deadline/cancellation: stop everyone.
-                        shared.flag_stop(e);
-                        guard.finish();
-                        break;
-                    }
-                    let src = shared.states.lock()[i].clone();
-                    let mut out = Vec::new();
-                    for (act, succ) in crate::cache::step_transitions_cached(&lts, &src).iter() {
-                        let state = norm(succ);
-                        let key = bpi_core::cons(&state);
-                        let j = {
-                            let mut index = shared.index.lock();
-                            match index.get(&key) {
-                                Some(&j) => Some(j),
-                                None => {
-                                    let mut states = shared.states.lock();
-                                    if states.len() >= cap {
-                                        shared.interrupted.lock().get_or_insert(
-                                            EngineError::StateBudgetExceeded { limit: cap },
-                                        );
-                                        None
-                                    } else {
-                                        let j = states.len();
-                                        index.insert(key, j);
-                                        states.push(state);
-                                        shared.edges.lock().push(Vec::new());
-                                        shared.queue.lock().push(j);
-                                        Some(j)
-                                    }
-                                }
-                            }
-                        };
-                        if let Some(j) = j {
-                            out.push((act.clone(), j));
-                        }
-                    }
-                    shared.edges.lock()[i] = out;
-                    guard.finish();
-                }
-            });
-        }
-    });
-    if scope_result.is_err() {
-        // A worker died outside the guarded region (or the guard itself
-        // could not record it); make sure the reason is visible.
-        shared
-            .interrupted
-            .lock()
-            .get_or_insert(EngineError::WorkerPanicked);
-    }
-
-    let interrupted = shared.interrupted.into_inner();
+    let outcome = crate::frontier::expand_frontier(
+        norm(p),
+        cap,
+        budget,
+        threads,
+        /* stop_on_cap */ false,
+        |src| {
+            let lts = Lts::new(defs);
+            let succs = crate::cache::step_transitions_cached(&lts, src)
+                .iter()
+                .map(|(act, succ)| (act.clone(), norm(succ)))
+                .collect();
+            crate::frontier::Expansion { succs, meta: () }
+        },
+    );
     StateGraph {
-        states: shared.states.into_inner(),
-        edges: shared.edges.into_inner(),
-        truncated: interrupted.is_some(),
-        interrupted,
+        states: outcome.states,
+        edges: outcome.edges,
+        truncated: outcome.interrupted.is_some(),
+        interrupted: outcome.interrupted,
     }
 }
 
@@ -747,48 +621,6 @@ mod tests {
         // state-budget error, never a panic.
         let err = explore_adaptive(&grow_pump(), &defs, opts, 3).unwrap_err();
         assert!(matches!(err, EngineError::StateBudgetExceeded { .. }));
-    }
-
-    #[test]
-    fn worker_panic_yields_truncated_graph_not_a_panic() {
-        // Drive the guard machinery the way a dying worker would: one
-        // thread claims a task and unwinds mid-expansion while others
-        // keep polling the queue. The scope must still join, `active`
-        // must return to zero, and the reason must be recorded.
-        let shared = ParShared {
-            index: Mutex::new(HashMap::new()),
-            states: Mutex::new(Vec::new()),
-            edges: Mutex::new(Vec::new()),
-            queue: Mutex::new(vec![0usize]),
-            active: AtomicUsize::new(0),
-            stop: AtomicBool::new(false),
-            interrupted: Mutex::new(None),
-        };
-        let r = crossbeam::scope(|scope| {
-            // The doomed worker.
-            scope.spawn(|_| {
-                let _task = shared.queue.lock().pop().unwrap();
-                shared.active.fetch_add(1, Ordering::SeqCst);
-                let _guard = ActiveGuard {
-                    shared: &shared,
-                    done: false,
-                };
-                panic!("injected worker fault");
-            });
-            // A survivor that spins until the claim is released.
-            scope.spawn(|_| loop {
-                if shared.stop.load(Ordering::SeqCst) || shared.active.load(Ordering::SeqCst) == 0 {
-                    break;
-                }
-                std::thread::yield_now();
-            });
-        });
-        assert!(r.is_err(), "panic payload surfaces through the scope");
-        assert_eq!(shared.active.load(Ordering::SeqCst), 0);
-        assert_eq!(
-            shared.interrupted.into_inner(),
-            Some(EngineError::WorkerPanicked)
-        );
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   time, or patience degrades instead of panicking;
 //! * [`faults`] — a seeded fault-injection runtime (lossy broadcast,
 //!   crash-stop and stop/resume nodes, bounded delivery refusal in the
-//!   sense of axiom (H)) with a replayable [`FaultLog`].
+//!   sense of axiom (H)) with a replayable [`FaultLog`];
+//! * [`frontier`] — the generic parallel frontier-expansion engine
+//!   shared by [`explore`] and `bpi-equiv`'s `Graph::build_parallel`,
+//!   with canonical breadth-first renumbering for determinism;
+//! * [`threads`] — the `BPI_THREADS` worker-count policy used by every
+//!   parallel entry point.
 
 pub mod analysis;
 pub mod budget;
@@ -28,8 +33,10 @@ pub mod cache;
 pub mod discard;
 pub mod explore;
 pub mod faults;
+pub mod frontier;
 pub mod lts;
 pub mod sim;
+pub mod threads;
 pub mod weak;
 
 pub use analysis::{analyse, Analysis};
@@ -41,6 +48,8 @@ pub use explore::{
     normalize_state, output_reachable, output_reachable_budgeted, ExploreOpts, StateGraph,
 };
 pub use faults::{deafen, lossy_traces, noise, FaultEvent, FaultLog, FaultPlan, FaultySimulator};
+pub use frontier::{expand_frontier, renumber_bfs, Expansion, FrontierOutcome};
 pub use lts::{tuples, Lts};
 pub use sim::{Simulator, Trace};
+pub use threads::{available_threads, default_threads, MAX_THREADS};
 pub use weak::{TauSaturation, Weak};

@@ -1,0 +1,57 @@
+//! Thread-count selection for the parallel engines.
+//!
+//! Every parallel entry point in the workspace (`explore_parallel`,
+//! `Graph::build_parallel`, the parallel refiner, the congruence and
+//! prover sweeps) takes an explicit thread count; [`default_threads`] is
+//! the single policy used when a caller does not choose one. Parallelism
+//! is **opt-in**: with `BPI_THREADS` unset the default is 1 and every
+//! engine stays on its sequential path, so single-threaded behaviour —
+//! and determinism debugging — is always one environment variable away.
+//!
+//! Accepted values of `BPI_THREADS`:
+//!
+//! * unset / unparsable — `1` (sequential);
+//! * a positive integer — that many workers (clamped to [`MAX_THREADS`]);
+//! * `0` or `auto` — [`std::thread::available_parallelism`].
+
+/// Upper clamp on configured worker counts; oversubscribing by orders of
+/// magnitude only adds scheduler churn.
+pub const MAX_THREADS: usize = 64;
+
+/// The machine's available parallelism, clamped to [`MAX_THREADS`].
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// The worker count selected by the `BPI_THREADS` environment variable
+/// (see the module docs for the accepted forms). Reads the environment on
+/// every call — tests toggle the variable mid-process.
+pub fn default_threads() -> usize {
+    match std::env::var("BPI_THREADS") {
+        Ok(v) => {
+            let v = v.trim();
+            if v == "0" || v.eq_ignore_ascii_case("auto") {
+                available_threads()
+            } else {
+                v.parse::<usize>().map_or(1, |n| n.clamp(1, MAX_THREADS))
+            }
+        }
+        Err(_) => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        // Whatever the environment says, the answer is a usable count.
+        let n = default_threads();
+        assert!((1..=MAX_THREADS).contains(&n));
+        assert!(available_threads() >= 1);
+    }
+}
