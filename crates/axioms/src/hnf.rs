@@ -55,7 +55,7 @@ pub fn hnf(p: &P, v: &NameSet) -> Hnf {
         "hnf: V must contain fn(p)"
     );
     assert!(p.is_finite(), "hnf: finite processes only");
-    let groups = Partition::enumerate(v)
+    let groups: Vec<(Partition, P)> = Partition::enumerate(v)
         .into_iter()
         .map(|part| {
             let s = part.collapse();
@@ -64,7 +64,22 @@ pub fn hnf(p: &P, v: &NameSet) -> Hnf {
             (part, body)
         })
         .collect();
-    Hnf { groups }
+    let h = Hnf { groups };
+    // hnf is a pure function of (p, V): group count and depth replay
+    // deterministically; the size distribution stays advisory.
+    if bpi_obs::metrics_enabled() {
+        bpi_obs::counter("axioms.hnf.runs", bpi_obs::Det::Deterministic).inc();
+        bpi_obs::counter("axioms.hnf.groups", bpi_obs::Det::Deterministic)
+            .add(h.groups.len() as u64);
+        bpi_obs::histogram("axioms.hnf.depth").record(h.depth() as u64);
+    }
+    bpi_obs::emit("axioms.hnf", "computed", || {
+        vec![
+            ("groups", bpi_obs::Value::from(h.groups.len())),
+            ("depth", bpi_obs::Value::from(h.depth())),
+        ]
+    });
+    h
 }
 
 #[cfg(test)]

@@ -142,6 +142,45 @@ impl Prover {
     /// the decision procedure exceeds its [`Budget`] (each recursive
     /// `decide` step costs one unit) before reaching a verdict.
     pub fn try_congruent(&mut self, p: &P, q: &P) -> Result<bool, EngineError> {
+        let _span = bpi_obs::span("axioms.prover", "try_congruent");
+        let r = self.try_congruent_inner(p, q);
+        // The verdict is a pure conjunction over the complete conditions,
+        // identical at every thread count: runs and verdict counters are
+        // deterministic. The step count depends on per-instance memo
+        // history and parallel early-exit, so it stays advisory.
+        if bpi_obs::metrics_enabled() {
+            bpi_obs::counter("axioms.prover.runs", bpi_obs::Det::Deterministic).inc();
+            match &r {
+                Ok(true) => {
+                    bpi_obs::counter("axioms.prover.proved", bpi_obs::Det::Deterministic).inc()
+                }
+                Ok(false) => {
+                    bpi_obs::counter("axioms.prover.refuted", bpi_obs::Det::Deterministic).inc()
+                }
+                Err(_) => {
+                    bpi_obs::counter("axioms.prover.exhausted", bpi_obs::Det::Deterministic).inc()
+                }
+            }
+            bpi_obs::counter("axioms.prover.obligations", bpi_obs::Det::Advisory)
+                .add(self.steps as u64);
+        }
+        bpi_obs::emit("axioms.prover", "verdict", || {
+            vec![
+                (
+                    "verdict",
+                    bpi_obs::Value::from(match &r {
+                        Ok(true) => "proved",
+                        Ok(false) => "refuted",
+                        Err(_) => "exhausted",
+                    }),
+                ),
+                ("steps", bpi_obs::Value::from(self.steps)),
+            ]
+        });
+        r
+    }
+
+    fn try_congruent_inner(&mut self, p: &P, q: &P) -> Result<bool, EngineError> {
         assert!(
             p.is_finite() && q.is_finite(),
             "the Section 5 axiomatisation covers finite processes only"

@@ -93,9 +93,75 @@ pub struct Blocks {
 }
 
 impl Axiom {
+    /// Short lowercase tag, used as the metric suffix for per-axiom
+    /// rewrite counters (`axioms.rewrite.<tag>`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Axiom::S1 => "s1",
+            Axiom::S2 => "s2",
+            Axiom::S3 => "s3",
+            Axiom::S4 => "s4",
+            Axiom::C5 => "c5",
+            Axiom::Sc1 => "sc1",
+            Axiom::Cp1 => "cp1",
+            Axiom::Cp2 => "cp2",
+            Axiom::Sp => "sp",
+            Axiom::H => "h",
+            Axiom::R1 => "r1",
+            Axiom::R2 => "r2",
+            Axiom::R3 => "r3",
+            Axiom::Rp2 => "rp2",
+            Axiom::Rp3 => "rp3",
+            Axiom::Rm1 => "rm1",
+            Axiom::Rm2 => "rm2",
+            Axiom::P1 => "p1",
+            Axiom::Expansion => "expansion",
+        }
+    }
+
+    /// The per-axiom deterministic rewrite counter: instantiation is a
+    /// pure function of (axiom, blocks), so these replay exactly.
+    fn metric(self) -> &'static bpi_obs::Counter {
+        use bpi_obs::{counter, Det};
+        match self {
+            Axiom::S1 => counter("axioms.rewrite.s1", Det::Deterministic),
+            Axiom::S2 => counter("axioms.rewrite.s2", Det::Deterministic),
+            Axiom::S3 => counter("axioms.rewrite.s3", Det::Deterministic),
+            Axiom::S4 => counter("axioms.rewrite.s4", Det::Deterministic),
+            Axiom::C5 => counter("axioms.rewrite.c5", Det::Deterministic),
+            Axiom::Sc1 => counter("axioms.rewrite.sc1", Det::Deterministic),
+            Axiom::Cp1 => counter("axioms.rewrite.cp1", Det::Deterministic),
+            Axiom::Cp2 => counter("axioms.rewrite.cp2", Det::Deterministic),
+            Axiom::Sp => counter("axioms.rewrite.sp", Det::Deterministic),
+            Axiom::H => counter("axioms.rewrite.h", Det::Deterministic),
+            Axiom::R1 => counter("axioms.rewrite.r1", Det::Deterministic),
+            Axiom::R2 => counter("axioms.rewrite.r2", Det::Deterministic),
+            Axiom::R3 => counter("axioms.rewrite.r3", Det::Deterministic),
+            Axiom::Rp2 => counter("axioms.rewrite.rp2", Det::Deterministic),
+            Axiom::Rp3 => counter("axioms.rewrite.rp3", Det::Deterministic),
+            Axiom::Rm1 => counter("axioms.rewrite.rm1", Det::Deterministic),
+            Axiom::Rm2 => counter("axioms.rewrite.rm2", Det::Deterministic),
+            Axiom::P1 => counter("axioms.rewrite.p1", Det::Deterministic),
+            Axiom::Expansion => counter("axioms.rewrite.expansion", Det::Deterministic),
+        }
+    }
+
     /// Produces a concrete `(lhs, rhs)` instance of the schema, or `None`
     /// when the side conditions cannot be met with the given blocks.
     pub fn instantiate(self, b: &Blocks) -> Option<(P, P)> {
+        let r = self.instantiate_inner(b);
+        if r.is_some() {
+            if bpi_obs::metrics_enabled() {
+                self.metric().inc();
+            }
+            bpi_obs::emit("axioms.rewrite", "instantiated", || {
+                vec![("axiom", bpi_obs::Value::from(self.tag()))]
+            });
+        }
+        r
+    }
+
+    fn instantiate_inner(self, b: &Blocks) -> Option<(P, P)> {
         let (p, q, r) = (b.ps[0].clone(), b.ps[1].clone(), b.ps[2].clone());
         let (x, y, z) = (b.ns[0], b.ns[1], b.ns[2]);
         let a = b.ns[0];
@@ -210,6 +276,11 @@ pub fn prefix_subst(pre: &Prefix, from: Name, to: Name) -> Prefix {
 /// (`Σᵢ αᵢ.pᵢ` with restrictions pushed and parallels expanded). Applied
 /// recursively this is the normal form underlying the prover.
 pub fn normalize_layer(p: &P) -> P {
+    bpi_obs::counter(
+        "axioms.rewrite.normalize_layers",
+        bpi_obs::Det::Deterministic,
+    )
+    .inc();
     reconstruct(&heads(p))
 }
 

@@ -1,30 +1,38 @@
 //! Pinned-size performance report — emits the machine-readable
-//! `BENCH_3.json` tracked at the repo root, and regression-gates the
-//! `BENCH_2.json` baseline.
+//! `BENCH_4.json` tracked at the repo root, and regression-gates the
+//! `BENCH_3.json` baseline.
 //!
 //! Criterion gives the full statistical story (`cargo bench`); this bin
 //! runs a small fixed set of measurements with `std::time::Instant`
-//! medians so the perf trajectory can be diffed as JSON across PRs. Two
-//! sections:
+//! medians so the perf trajectory can be diffed as JSON across PRs.
+//! Sections:
 //!
 //! * **entries** — the PR 2 before/after pairs, re-measured on today's
 //!   engines (naive `refine` oracle vs the adaptive worklist, fresh tree
-//!   walks vs consed caches, cold vs warm exploration);
+//!   walks vs consed caches, cold vs warm exploration), plus PR 4's B11
+//!   observability-overhead pair (metrics registry off vs on around the
+//!   τ-ladder worklist refinement);
 //! * **thread_series** — PR 3's scaling sweep: the τ-ladder refinement,
 //!   the 3^N exploration and the wide-parallel-composition build, each
 //!   at 1/2/4/8 worker threads. Cold-construction series use tagged
 //!   (structurally fresh) terms per sample so the successor memos cannot
 //!   serve the work the threads are supposed to do. `host_cpus` records
 //!   the machine's actual parallelism — on a single-core host the series
-//!   measures the overhead floor of the parallel paths, not speedup.
+//!   measures the overhead floor of the parallel paths, not speedup;
+//! * **metrics** (with `--metrics`) — the deterministic counter set of a
+//!   pinned build+refine workload, measured from a reset registry. These
+//!   values are bit-identical across engines and thread counts (the
+//!   `metrics_oracle` suite pins that), so they can be diffed across
+//!   PRs like any other recorded number.
 //!
 //! Usage:
 //!   cargo run --release -p bpi-bench --bin bench_report [OUT.json]
+//!   cargo run --release -p bpi-bench --bin bench_report -- --metrics
 //!   cargo run --release -p bpi-bench --bin bench_report -- --check
 //!
 //! `--check` (the CI bench-smoke gate) writes nothing: it re-measures
-//! the PR 2 entries at the pinned sizes and **fails** if any entry's
-//! speedup regresses below 0.9× the value recorded in `BENCH_2.json`
+//! the recorded entries at the pinned sizes and **fails** if any entry's
+//! speedup regresses below 0.9× the value recorded in `BENCH_3.json`
 //! (up to three attempts per entry to ride out scheduler noise).
 
 use bpi_bench::{
@@ -203,6 +211,34 @@ fn measure_entries(s: &Sizes, tag: &str) -> Vec<Entry> {
         }),
         note: "free-name set, depth-12 alternating term",
     });
+
+    // B11 — observability overhead. Same prebuilt τ-ladder refinement
+    // with the metrics registry fully disabled (every counter is a
+    // relaxed load + branch) vs enabled (the default, no trace sink).
+    // baseline = registry off, optimized = registry on, so the speedup
+    // is 1/(1+overhead): the ≤5% overhead budget of EXPERIMENTS.md B11
+    // reads as speedup ≥ ~0.95, and the 0.9× check gate catches any
+    // future instrumentation creeping into hot loops.
+    let l_opts = Opts::default();
+    let l_pool = shared_pool(&ladder, &ladder, l_opts.fresh_inputs);
+    let lg1 = Graph::build(&ladder, &defs, &l_pool, l_opts).expect("ladder fits");
+    let lg2 = Graph::build(&ladder, &defs, &l_pool, l_opts).expect("ladder fits");
+    let was_on = bpi_obs::metrics_enabled();
+    bpi_obs::set_metrics_enabled(false);
+    let off_us = median_us(s.reps, || {
+        assert!(refine_worklist(Variant::StrongLabelled, &lg1, &lg2).holds(0, 0));
+    });
+    bpi_obs::set_metrics_enabled(true);
+    let on_us = median_us(s.reps, || {
+        assert!(refine_worklist(Variant::StrongLabelled, &lg1, &lg2).holds(0, 0));
+    });
+    bpi_obs::set_metrics_enabled(was_on);
+    entries.push(Entry {
+        id: "obs/metrics/tau-ladder/off-vs-on",
+        baseline_us: off_us,
+        optimized_us: on_us,
+        note: "worklist refinement with the metrics registry disabled vs enabled (no sink)",
+    });
     entries
 }
 
@@ -316,9 +352,9 @@ fn read_recorded_speedups(path: &str) -> Vec<(String, f64)> {
 /// least 0.9× its recorded speedup. Re-measures a failing entry up to
 /// three times before declaring a regression.
 fn run_check(sizes: &Sizes) -> bool {
-    let recorded = read_recorded_speedups("BENCH_2.json");
+    let recorded = read_recorded_speedups("BENCH_3.json");
     if recorded.is_empty() {
-        eprintln!("--check: BENCH_2.json missing or unparsable; nothing to gate");
+        eprintln!("--check: BENCH_3.json missing or unparsable; nothing to gate");
         return true;
     }
     let mut failing: Vec<String> = recorded.iter().map(|(id, _)| id.clone()).collect();
@@ -348,19 +384,53 @@ fn run_check(sizes: &Sizes) -> bool {
         }
     }
     for id in &failing {
-        eprintln!("--check: REGRESSION {id}: speedup below 0.9x of BENCH_2.json after 3 attempts");
+        eprintln!("--check: REGRESSION {id}: speedup below 0.9x of BENCH_3.json after 3 attempts");
     }
     false
+}
+
+/// The `--metrics` workload: reset the registry, run a pinned
+/// build+refine (τ-ladder and scaled-sums across all six variants, plus
+/// one tight-budget exhaustion), and read back the deterministic
+/// counters. Every value here is engine- and thread-count-independent.
+fn measure_metrics(s: &Sizes) -> Vec<(&'static str, u64)> {
+    const ALL: [Variant; 6] = [
+        Variant::StrongBarbed,
+        Variant::StrongStep,
+        Variant::StrongLabelled,
+        Variant::WeakBarbed,
+        Variant::WeakStep,
+        Variant::WeakLabelled,
+    ];
+    let defs = Defs::new();
+    let opts = Opts::default();
+    bpi_obs::reset_for_tests();
+    for sys in [tau_chain(s.ladder_n / 4), scaled_pair(s.scaled_n).0] {
+        let pool = shared_pool(&sys, &sys, opts.fresh_inputs);
+        let g = Graph::build(&sys, &defs, &pool, opts).expect("pinned instance fits");
+        for v in ALL {
+            std::hint::black_box(refine_worklist(v, &g, &g));
+        }
+    }
+    // One deterministic exhaustion so the error-path counter is pinned.
+    let ladder = tau_chain(s.ladder_n);
+    let pool = shared_pool(&ladder, &ladder, opts.fresh_inputs);
+    let _ = Graph::build_with_budget(&ladder, &defs, &pool, opts, &Budget::states(4));
+    bpi_obs::deterministic_counters()
+        .into_iter()
+        .filter(|(_, v)| *v != 0)
+        .collect()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let with_metrics = args.iter().any(|a| a == "--metrics");
     let out_path = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
 
     let sizes = Sizes {
         ladder_n: 48,
@@ -373,7 +443,7 @@ fn main() {
 
     if check {
         if run_check(&sizes) {
-            eprintln!("--check: all BENCH_2 entries within tolerance");
+            eprintln!("--check: all BENCH_3 entries within tolerance");
             return;
         }
         std::process::exit(1);
@@ -381,6 +451,7 @@ fn main() {
 
     let entries = measure_entries(&sizes, "rpt#");
     let series = measure_thread_series(&sizes, wide_n);
+    let metrics = with_metrics.then(|| measure_metrics(&sizes));
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // Render.
@@ -388,7 +459,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"bpi-bench-report/v1\",\n");
-    json.push_str("  \"pr\": 3,\n");
+    json.push_str("  \"pr\": 4,\n");
     json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str(&format!(
         "  \"pinned\": {{ \"tau_ladder\": {}, \"scaled_sums\": {}, \"explore_components\": {}, \"wide_par\": {wide_n}, \"term_depth\": {}, \"repeats\": {} }},\n",
@@ -426,7 +497,22 @@ fn main() {
             if i + 1 == series.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    match &metrics {
+        None => json.push_str("  ]\n}\n"),
+        Some(m) => {
+            json.push_str("  ],\n");
+            json.push_str("  \"metrics\": {\n");
+            json.push_str("    \"workload\": \"build+refine tau-ladder/4 and scaled-sums over all six variants, one budget exhaustion\",\n");
+            json.push_str("    \"deterministic\": {\n");
+            for (i, (name, value)) in m.iter().enumerate() {
+                json.push_str(&format!(
+                    "      \"{name}\": {value}{}\n",
+                    if i + 1 == m.len() { "" } else { "," }
+                ));
+            }
+            json.push_str("    }\n  }\n}\n");
+        }
+    }
 
     for e in &entries {
         eprintln!(
@@ -449,6 +535,12 @@ fn main() {
             pts.join("  "),
             s.speedup_at(4)
         );
+    }
+    if let Some(m) = &metrics {
+        eprintln!("deterministic counters ({} names):", m.len());
+        for (name, value) in m {
+            eprintln!("  {name:<40} {value}");
+        }
     }
     std::fs::write(&out_path, json).expect("write report");
     eprintln!("wrote {out_path}");

@@ -36,10 +36,63 @@ use crate::graph::{shared_pool, Graph, Opts};
 use bpi_core::action::Action;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, P};
+use bpi_obs::{counter, Counter, Det, Value};
 use bpi_semantics::budget::{Budget, EngineError};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock};
+
+// Refinement metrics. The deterministic set is *result-derived*: all
+// three engines converge to the same greatest fixpoint over the same
+// graphs, so the initial pair count and the surviving/killed split are
+// engine- and thread-independent. How the engines get there — sweeps,
+// worklist pops, rounds, chunk schedules — is process-derived and
+// advisory by contract (metrics_oracle.rs enforces the split).
+static REFINE_RUNS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.runs", Det::Deterministic));
+static REFINE_PAIRS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.pairs", Det::Deterministic));
+static REFINE_SURVIVORS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.survivors", Det::Deterministic));
+static REFINE_KILLS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.kills", Det::Deterministic));
+static NAIVE_SWEEPS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.naive.sweeps", Det::Advisory));
+static WORKLIST_POPS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.worklist.pops", Det::Advisory));
+static PARALLEL_ROUNDS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.parallel.rounds", Det::Advisory));
+static PARALLEL_CHUNKS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.parallel.chunks", Det::Advisory));
+
+/// Exit bookkeeping shared by the three engines: exactly one call per
+/// public engine invocation (the small-product cutovers delegate before
+/// recording, so nothing double-counts).
+fn record_refine(engine: &'static str, pr: &PairRelation, n1: usize, n2: usize) {
+    if !bpi_obs::metrics_enabled() && !bpi_obs::tracing_enabled() {
+        return;
+    }
+    let pairs = n1 * n2;
+    let survivors: usize = pr
+        .rel
+        .iter()
+        .map(|row| row.iter().filter(|&&b| b).count())
+        .sum();
+    if bpi_obs::metrics_enabled() {
+        REFINE_RUNS.inc();
+        REFINE_PAIRS.add(pairs as u64);
+        REFINE_SURVIVORS.add(survivors as u64);
+        REFINE_KILLS.add((pairs - survivors) as u64);
+    }
+    bpi_obs::emit("equiv.refine", "done", || {
+        vec![
+            ("engine", Value::from(engine)),
+            ("pairs", Value::from(pairs)),
+            ("survivors", Value::from(survivors)),
+            ("kills", Value::from(pairs - survivors)),
+        ]
+    });
+}
 
 /// Which bisimulation to check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -191,7 +244,8 @@ impl<'d> Checker<'d> {
     /// exhaustion is reported as [`Verdict::Inconclusive`] instead of a
     /// panic or a silent `false`.
     pub fn check(&self, v: Variant, p: &P, q: &P) -> Verdict {
-        match self.try_fixpoint(v, p, q) {
+        let _span = bpi_obs::span("equiv.check", "check");
+        let verdict = match self.try_fixpoint(v, p, q) {
             Ok((_, _, rel)) => {
                 if rel.holds(0, 0) {
                     Verdict::Holds
@@ -200,7 +254,21 @@ impl<'d> Checker<'d> {
                 }
             }
             Err(e) => Verdict::Inconclusive(e),
-        }
+        };
+        bpi_obs::emit("equiv.check", "verdict", || {
+            vec![
+                ("variant", Value::from(format!("{v:?}"))),
+                (
+                    "verdict",
+                    Value::from(match &verdict {
+                        Verdict::Holds => "holds".to_string(),
+                        Verdict::Fails(_) => "fails".to_string(),
+                        Verdict::Inconclusive(e) => format!("inconclusive: {e}"),
+                    }),
+                ),
+            ]
+        });
+        verdict
     }
 
     /// Builds both graphs (through the global graph memo, so the six
@@ -271,7 +339,9 @@ impl<'d> Checker<'d> {
 pub fn refine(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
     let (n1, n2) = (g1.len(), g2.len());
     let mut pr = PairRelation::full(n1, n2);
+    let mut sweeps = 0u64;
     loop {
+        sweeps += 1;
         let mut kills = Vec::new();
         {
             let fwd = RelView::new(&pr.rel, false);
@@ -289,6 +359,8 @@ pub fn refine(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
             }
         }
         if kills.is_empty() {
+            NAIVE_SWEEPS.add(sweeps);
+            record_refine("naive", &pr, n1, n2);
             return pr;
         }
         for (i, j) in kills {
@@ -374,6 +446,7 @@ pub(crate) fn refine_worklist_indexed(v: Variant, g1: &Graph, g2: &Graph) -> Pai
     let (n1, n2) = (g1.len(), g2.len());
     let mut pr = PairRelation::full(n1, n2);
     if n1 == 0 || n2 == 0 {
+        record_refine("worklist", &pr, n1, n2);
         return pr;
     }
     let dep1 = dependents(g1, v.is_weak());
@@ -381,7 +454,9 @@ pub(crate) fn refine_worklist_indexed(v: Variant, g1: &Graph, g2: &Graph) -> Pai
     let mut queued = vec![vec![true; n2]; n1];
     let mut work: VecDeque<(usize, usize)> =
         (0..n1).flat_map(|i| (0..n2).map(move |j| (i, j))).collect();
+    let mut pops = 0u64;
     while let Some((i, j)) = work.pop_front() {
+        pops += 1;
         queued[i][j] = false;
         if !pr.rel[i][j] {
             continue;
@@ -402,6 +477,8 @@ pub(crate) fn refine_worklist_indexed(v: Variant, g1: &Graph, g2: &Graph) -> Pai
             }
         }
     }
+    WORKLIST_POPS.add(pops);
+    record_refine("worklist", &pr, n1, n2);
     pr
 }
 
@@ -427,8 +504,10 @@ pub fn refine_parallel(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> Pa
     let (n1, n2) = (g1.len(), g2.len());
     let mut pr = PairRelation::full(n1, n2);
     if n1 == 0 || n2 == 0 {
+        record_refine("parallel", &pr, n1, n2);
         return pr;
     }
+    let mut rounds = 0u64;
     let mut dirty: Vec<(u32, u32)> = (0..n1 as u32)
         .flat_map(|i| (0..n2 as u32).map(move |j| (i, j)))
         .collect();
@@ -437,6 +516,7 @@ pub fn refine_parallel(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> Pa
     let mut deps: Option<(DepSets, DepSets)> = None;
     let mut queued = vec![false; n1 * n2];
     while !dirty.is_empty() {
+        rounds += 1;
         let kills = check_round(v, g1, g2, &pr, &dirty, threads);
         if kills.is_empty() {
             break;
@@ -463,6 +543,8 @@ pub fn refine_parallel(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> Pa
         next.sort_unstable();
         dirty = next;
     }
+    PARALLEL_ROUNDS.add(rounds);
+    record_refine("parallel", &pr, n1, n2);
     pr
 }
 
@@ -496,6 +578,8 @@ fn check_round(
         .chunks(chunk)
         .map(|_| Mutex::new(Vec::new()))
         .collect();
+    PARALLEL_CHUNKS.add(slots.len() as u64);
+    bpi_obs::histogram("equiv.refine.parallel.chunk_size").record(chunk as u64);
     crossbeam::scope(|s| {
         for (part, slot) in dirty.chunks(chunk).zip(&slots) {
             let check = &check;

@@ -128,16 +128,22 @@ pub fn try_explain(
     if rel.holds(0, 0) {
         return Ok(None);
     }
-    let mut depth_budget = g1.len() * g2.len() + 2;
-    Ok(Some(explain_pair(
-        v,
-        &g1,
-        0,
-        &g2,
-        0,
-        &rel.rel,
-        &mut depth_budget,
-    )))
+    let initial_budget = g1.len() * g2.len() + 2;
+    let mut depth_budget = initial_budget;
+    let d = explain_pair(v, &g1, 0, &g2, 0, &rel.rel, &mut depth_budget);
+    // The experiment is a function of the fixpoint relation, which is
+    // engine- and thread-independent — so the count and search depth
+    // replay deterministically.
+    bpi_obs::counter("equiv.distinguish.formulas", bpi_obs::Det::Deterministic).inc();
+    bpi_obs::counter("equiv.distinguish.depth", bpi_obs::Det::Deterministic)
+        .add((initial_budget - depth_budget) as u64);
+    bpi_obs::emit("equiv.distinguish", "explained", || {
+        vec![
+            ("depth", bpi_obs::Value::from(initial_budget - depth_budget)),
+            ("experiment", bpi_obs::Value::from(d.to_string())),
+        ]
+    });
+    Ok(Some(d))
 }
 
 fn related(rel: &[Vec<bool>], i: usize, j: usize) -> bool {

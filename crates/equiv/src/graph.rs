@@ -24,6 +24,7 @@ use bpi_core::name::{Name, NameSet};
 use bpi_core::subst::Subst;
 use bpi_core::syntax::{Defs, P};
 use bpi_core::Consed;
+use bpi_obs::{counter, Counter, Det, Value};
 use bpi_semantics::budget::{Budget, EngineError};
 use bpi_semantics::frontier::{expand_frontier, renumber_bfs, Expansion};
 use bpi_semantics::lts::{tuples, Lts};
@@ -31,6 +32,42 @@ use bpi_semantics::{input_transitions_cached, normalize_state_cached, step_trans
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::{Arc, LazyLock, OnceLock};
+
+// Build metrics. Completed graphs are bit-identical between the
+// sequential and parallel constructions (canonical BFS numbering), so
+// everything counted off a finished graph — and the state-ceiling
+// failure, which is a property of the reachable set — is deterministic.
+// Deadline/cancellation/panic failures and memo hit rates depend on
+// wall clock and process history: advisory.
+static BUILDS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.graph.builds", Det::Deterministic));
+static BUILD_STATES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.graph.states", Det::Deterministic));
+static BUILD_EDGES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.graph.edges", Det::Deterministic));
+static BUILD_LABELS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.graph.labels", Det::Deterministic));
+static BUILD_CHANS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.graph.chans", Det::Deterministic));
+static BUILD_EXHAUSTED: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.graph.exhausted", Det::Deterministic));
+static BUILD_INTERRUPTED: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.graph.interrupted", Det::Advisory));
+static MEMO_HITS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.graph.memo.hits", Det::Advisory));
+static MEMO_MISSES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.graph.memo.misses", Det::Advisory));
+
+/// Records a failed build (fresh or replayed from the memo).
+fn record_build_err(e: &EngineError) {
+    match e {
+        EngineError::StateBudgetExceeded { .. } => BUILD_EXHAUSTED.inc(),
+        _ => BUILD_INTERRUPTED.inc(),
+    }
+    bpi_obs::emit("equiv.graph", "build_failed", || {
+        vec![("error", Value::from(e.to_string()))]
+    });
+}
 
 /// Options for graph construction and bisimulation checking.
 #[derive(Clone, Copy, Debug)]
@@ -465,6 +502,21 @@ impl Graph {
         opts: Opts,
         budget: &Budget,
     ) -> Result<Graph, EngineError> {
+        let _span = bpi_obs::span("equiv.graph", "build_sequential");
+        let r = Graph::build_sequential_inner(seed, defs, pool, opts, budget);
+        if let Err(e) = &r {
+            record_build_err(e);
+        }
+        r
+    }
+
+    fn build_sequential_inner(
+        seed: &P,
+        defs: &Defs,
+        pool: &[Name],
+        opts: Opts,
+        budget: &Budget,
+    ) -> Result<Graph, EngineError> {
         let lts = Lts::new(defs);
         let pool_set = NameSet::from_iter(pool.iter().copied());
         let cap = opts.max_states.min(budget.max_states());
@@ -569,16 +621,35 @@ impl Graph {
         discarding: Vec<NameSet>,
         pool: Vec<Name>,
     ) -> Graph {
-        let csr = Csr::build(&edges, &pool, &discarding);
+        let csr = {
+            let _span = bpi_obs::span("equiv.graph", "csr_freeze");
+            Csr::build(&edges, &pool, &discarding)
+        };
         let caches = GraphCaches::new(states.len(), csr.num_labels(), csr.num_chans());
-        Graph {
+        let g = Graph {
             states,
             edges,
             discarding,
             pool,
             csr,
             caches,
+        };
+        if bpi_obs::metrics_enabled() {
+            BUILDS.inc();
+            BUILD_STATES.add(g.len() as u64);
+            BUILD_EDGES.add(g.csr.num_edges() as u64);
+            BUILD_LABELS.add(g.csr.num_labels() as u64);
+            BUILD_CHANS.add(g.csr.num_chans() as u64);
         }
+        bpi_obs::emit("equiv.graph", "built", || {
+            vec![
+                ("states", Value::from(g.len())),
+                ("edges", Value::from(g.csr.num_edges())),
+                ("labels", Value::from(g.csr.num_labels())),
+                ("chans", Value::from(g.csr.num_chans())),
+            ]
+        });
+        g
     }
 
     /// [`Graph::build_with_budget`] across `threads` crossbeam workers,
@@ -603,6 +674,7 @@ impl Graph {
         if threads == 1 {
             return Graph::build_with_budget(seed, defs, pool, opts, budget);
         }
+        let _span = bpi_obs::span("equiv.graph", "build_parallel");
         let pool_set = NameSet::from_iter(pool.iter().copied());
         let cap = opts.max_states.min(budget.max_states());
         let s0 = normalize_state_cached(seed, None);
@@ -640,6 +712,7 @@ impl Graph {
             },
         );
         if let Some(e) = outcome.interrupted {
+            record_build_err(&e);
             return Err(e);
         }
         let outcome = renumber_bfs(outcome);
@@ -687,11 +760,15 @@ impl Graph {
         let cap = opts.max_states.min(budget.max_states());
         let key = (bpi_core::cons(seed), defs.generation(), pool.to_vec());
         if let Some(g) = GRAPH_MEMO.read().get(&key) {
+            MEMO_HITS.inc();
             if g.len() > cap {
-                return Err(EngineError::StateBudgetExceeded { limit: cap });
+                let e = EngineError::StateBudgetExceeded { limit: cap };
+                record_build_err(&e);
+                return Err(e);
             }
             return Ok(g.clone());
         }
+        MEMO_MISSES.inc();
         let g = Arc::new(Graph::build_parallel(
             seed, defs, pool, opts, budget, threads,
         )?);

@@ -27,6 +27,7 @@ use bpi_core::action::Action;
 use bpi_core::name::{Name, NameSet};
 use bpi_core::syntax::P;
 use bpi_core::Consed;
+use bpi_obs::{counter, Counter, Det};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::{Arc, LazyLock};
@@ -50,6 +51,21 @@ static INPUT_MEMO: LazyLock<TransMemo<InputKey>> = LazyLock::new(|| RwLock::new(
 static NORM_MEMO: LazyLock<RwLock<HashMap<NormKey, P>>> =
     LazyLock::new(|| RwLock::new(HashMap::new()));
 
+// Hit/miss rates are *advisory*: the memos are process-global and
+// capped, so whether a lookup hits depends on what ran before.
+static STEP_HITS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.memo.step.hits", Det::Advisory));
+static STEP_MISSES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.memo.step.misses", Det::Advisory));
+static INPUT_HITS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.memo.input.hits", Det::Advisory));
+static INPUT_MISSES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.memo.input.misses", Det::Advisory));
+static NORM_HITS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.memo.norm.hits", Det::Advisory));
+static NORM_MISSES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.memo.norm.misses", Det::Advisory));
+
 fn insert_capped<K: std::hash::Hash + Eq, V>(map: &RwLock<HashMap<K, V>>, k: K, v: V) {
     let mut g = map.write();
     if g.len() >= CACHE_CAP {
@@ -66,8 +82,10 @@ fn insert_capped<K: std::hash::Hash + Eq, V>(map: &RwLock<HashMap<K, V>>, k: K, 
 pub fn step_transitions_cached(lts: &Lts<'_>, p: &P) -> Arc<Vec<(Action, P)>> {
     let key = (bpi_core::cons(p), lts.defs.generation());
     if let Some(v) = STEP_MEMO.read().get(&key) {
+        STEP_HITS.inc();
         return v.clone();
     }
+    STEP_MISSES.inc();
     let v = Arc::new(lts.step_transitions(p));
     insert_capped(&STEP_MEMO, key, v.clone());
     v
@@ -78,8 +96,10 @@ pub fn step_transitions_cached(lts: &Lts<'_>, p: &P) -> Arc<Vec<(Action, P)>> {
 pub fn input_transitions_cached(lts: &Lts<'_>, p: &P, pool: &[Name]) -> Arc<Vec<(Action, P)>> {
     let key = (bpi_core::cons(p), lts.defs.generation(), pool.to_vec());
     if let Some(v) = INPUT_MEMO.read().get(&key) {
+        INPUT_HITS.inc();
         return v.clone();
     }
+    INPUT_MISSES.inc();
     let v = Arc::new(lts.input_transitions(p, pool));
     insert_capped(&INPUT_MEMO, key, v.clone());
     v
@@ -95,8 +115,10 @@ pub fn input_transitions_cached(lts: &Lts<'_>, p: &P, pool: &[Name]) -> Arc<Vec<
 pub fn normalize_state_cached(p: &P, protected: Option<&NameSet>) -> P {
     let key = (bpi_core::cons(p), protected.cloned());
     if let Some(v) = NORM_MEMO.read().get(&key) {
+        NORM_HITS.inc();
         return v.clone();
     }
+    NORM_MISSES.inc();
     let v = match protected {
         Some(prot) => crate::explore::normalize_state(p, prot),
         None => bpi_core::cached_canon(&bpi_core::prune(p)),

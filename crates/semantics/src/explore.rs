@@ -20,7 +20,50 @@ use bpi_core::canon::canon;
 use bpi_core::name::{Name, NameSet};
 use bpi_core::subst::Subst;
 use bpi_core::syntax::{Defs, Prefix, Process, P};
+use bpi_obs::{counter, Counter, Det, Value};
 use std::collections::HashMap;
+use std::sync::LazyLock;
+
+// Deterministic counters are derived from the *result* graph, which is
+// identical (up to state numbering) for the sequential and parallel
+// explorers at every thread count; state/edge totals are only counted
+// for complete graphs, because a truncated graph's extent depends on
+// discovery order. The truncation *event* for a state ceiling is
+// schedule-independent (the reachable space either fits or it does
+// not), so it is deterministic too; deadline/cancellation are wall
+// clock and stay advisory.
+static EXPLORE_RUNS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.explore.runs", Det::Deterministic));
+static EXPLORE_STATES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.explore.states", Det::Deterministic));
+static EXPLORE_EDGES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.explore.edges", Det::Deterministic));
+static EXPLORE_EXHAUSTED: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.explore.exhausted", Det::Deterministic));
+static EXPLORE_INTERRUPTED: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.explore.interrupted", Det::Advisory));
+
+/// Shared exit bookkeeping for both explorers.
+fn record_explore(g: &StateGraph) {
+    if bpi_obs::metrics_enabled() {
+        EXPLORE_RUNS.inc();
+        match &g.interrupted {
+            None => {
+                EXPLORE_STATES.add(g.len() as u64);
+                EXPLORE_EDGES.add(g.edge_count() as u64);
+            }
+            Some(EngineError::StateBudgetExceeded { .. }) => EXPLORE_EXHAUSTED.inc(),
+            Some(_) => EXPLORE_INTERRUPTED.inc(),
+        }
+    }
+    bpi_obs::emit("semantics.explore", "done", || {
+        vec![
+            ("states", Value::from(g.len())),
+            ("edges", Value::from(g.edge_count())),
+            ("truncated", Value::from(g.truncated)),
+        ]
+    });
+}
 
 /// Options controlling exploration.
 #[derive(Clone, Copy, Debug)]
@@ -244,6 +287,7 @@ pub fn explore(p: &P, defs: &Defs, opts: ExploreOpts) -> StateGraph {
 /// panics: the partial graph comes back with [`StateGraph::truncated`]
 /// set and the reason in [`StateGraph::interrupted`].
 pub fn explore_budgeted(p: &P, defs: &Defs, opts: ExploreOpts, budget: &Budget) -> StateGraph {
+    let _span = bpi_obs::span("semantics.explore", "sequential");
     let lts = Lts::new(defs);
     let protected = p.free_names();
     let prot = opts.normalize_extruded.then_some(&protected);
@@ -294,12 +338,14 @@ pub fn explore_budgeted(p: &P, defs: &Defs, opts: ExploreOpts, budget: &Budget) 
         }
         edges[i] = out;
     }
-    StateGraph {
+    let g = StateGraph {
         states,
         edges,
         truncated: interrupted.is_some(),
         interrupted,
-    }
+    };
+    record_explore(&g);
+    g
 }
 
 /// Retry-with-larger-budget wrapper around [`explore_budgeted`]: starts
@@ -410,6 +456,7 @@ pub fn explore_parallel_budgeted(
     if threads == 1 {
         return explore_budgeted(p, defs, opts, budget);
     }
+    let _span = bpi_obs::span("semantics.explore", "parallel");
     let protected = p.free_names();
     let prot = opts.normalize_extruded.then_some(&protected);
     let norm = move |q: &P| crate::cache::normalize_state_cached(q, prot);
@@ -430,12 +477,14 @@ pub fn explore_parallel_budgeted(
             crate::frontier::Expansion { succs, meta: () }
         },
     );
-    StateGraph {
+    let g = StateGraph {
         states: outcome.states,
         edges: outcome.edges,
         truncated: outcome.interrupted.is_some(),
         interrupted: outcome.interrupted,
-    }
+    };
+    record_explore(&g);
+    g
 }
 
 #[cfg(test)]

@@ -336,14 +336,13 @@ impl<'d> FaultySimulator<'d> {
                 }
             }
             if cands.is_empty() {
-                return (
-                    Trace {
-                        actions,
-                        last: reassemble(&comps, &frozen),
-                        terminated: true,
-                    },
-                    log,
-                );
+                let trace = Trace {
+                    actions,
+                    last: reassemble(&comps, &frozen),
+                    terminated: true,
+                };
+                record_faulty_run(&trace, &log);
+                return (trace, log);
             }
             let (i, act, next) = cands[self.rng.gen_range(0..cands.len())].clone();
             comps[i] = next;
@@ -390,14 +389,67 @@ impl<'d> FaultySimulator<'d> {
                 break;
             }
         }
-        (
-            Trace {
-                actions,
-                last: reassemble(&comps, &frozen),
-                terminated: false,
-            },
-            log,
-        )
+        let trace = Trace {
+            actions,
+            last: reassemble(&comps, &frozen),
+            terminated: false,
+        };
+        record_faulty_run(&trace, &log);
+        (trace, log)
+    }
+}
+
+/// Exit bookkeeping for a faulty run. The [`FaultLog`] is a pure
+/// function of (plan, seed, process), so all of these counters replay
+/// deterministically; the per-event trace preserves log order.
+fn record_faulty_run(trace: &Trace, log: &FaultLog) {
+    use bpi_obs::{counter, Counter, Det, Value};
+    use std::sync::LazyLock;
+    static RUNS: LazyLock<&Counter> =
+        LazyLock::new(|| counter("semantics.faults.runs", Det::Deterministic));
+    static STEPS: LazyLock<&Counter> =
+        LazyLock::new(|| counter("semantics.faults.steps", Det::Deterministic));
+    static EVENTS: LazyLock<&Counter> =
+        LazyLock::new(|| counter("semantics.faults.events", Det::Deterministic));
+    static LOSSES: LazyLock<&Counter> =
+        LazyLock::new(|| counter("semantics.faults.losses", Det::Deterministic));
+    static REFUSALS: LazyLock<&Counter> =
+        LazyLock::new(|| counter("semantics.faults.refusals", Det::Deterministic));
+    if bpi_obs::metrics_enabled() {
+        RUNS.inc();
+        STEPS.add(trace.actions.len() as u64);
+        EVENTS.add(log.events.len() as u64);
+        LOSSES.add(log.losses() as u64);
+        REFUSALS.add(log.refusals() as u64);
+    }
+    if bpi_obs::tracing_enabled() {
+        for ev in &log.events {
+            let (name, step, node, chan): (&'static str, usize, usize, Option<Name>) = match ev {
+                FaultEvent::MessageLost { step, chan, node } => {
+                    ("message_lost", *step, *node, Some(*chan))
+                }
+                FaultEvent::DeliveryRefused { step, chan, node } => {
+                    ("delivery_refused", *step, *node, Some(*chan))
+                }
+                FaultEvent::Crashed { step, node } => ("crashed", *step, *node, None),
+                FaultEvent::Stopped { step, node } => ("stopped", *step, *node, None),
+                FaultEvent::Resumed { step, node } => ("resumed", *step, *node, None),
+            };
+            bpi_obs::emit("semantics.faults", name, || {
+                let mut fields = vec![("step", Value::from(step)), ("node", Value::from(node))];
+                if let Some(c) = chan {
+                    fields.push(("chan", Value::from(c.to_string())));
+                }
+                fields
+            });
+        }
+        bpi_obs::emit("semantics.faults", "run", || {
+            vec![
+                ("steps", Value::from(trace.actions.len())),
+                ("events", Value::from(log.events.len())),
+                ("terminated", Value::from(trace.terminated)),
+            ]
+        });
     }
 }
 

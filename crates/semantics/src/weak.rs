@@ -124,12 +124,20 @@ impl<'d> Weak<'d> {
     /// so a tighter budget sees the same typed exhaustion it would have
     /// hit searching.
     fn saturation(&self, p: &P, kind: MoveKind) -> Result<Arc<TauSaturation>, EngineError> {
+        static HITS: LazyLock<&bpi_obs::Counter> = LazyLock::new(|| {
+            bpi_obs::counter("semantics.weak.saturation.hits", bpi_obs::Det::Advisory)
+        });
+        static MISSES: LazyLock<&bpi_obs::Counter> = LazyLock::new(|| {
+            bpi_obs::counter("semantics.weak.saturation.misses", bpi_obs::Det::Advisory)
+        });
         self.budget.check(0)?;
         let key = (cons(p), self.lts.defs.generation(), kind);
         if let Some(sat) = SATURATIONS.read().get(&key) {
+            HITS.inc();
             self.budget.check(sat.states.len())?;
             return Ok(sat.clone());
         }
+        MISSES.inc();
         let keep = |act: &Action| match kind {
             MoveKind::Tau => matches!(act, Action::Tau),
             MoveKind::Step => act.is_step_move(),
@@ -148,6 +156,7 @@ impl<'d> Weak<'d> {
             out.push(q);
         }
         let barbs = out.iter().map(|q| self.strong_barbs(q)).collect();
+        bpi_obs::histogram("semantics.weak.saturation.states").record(out.len() as u64);
         let sat = Arc::new(TauSaturation { states: out, barbs });
         let mut g = SATURATIONS.write();
         if g.len() >= SATURATION_CAP {

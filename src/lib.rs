@@ -7,4 +7,5 @@ pub use bpi_axioms as axioms;
 pub use bpi_core as core;
 pub use bpi_encodings as encodings;
 pub use bpi_equiv as equiv;
+pub use bpi_obs as obs;
 pub use bpi_semantics as semantics;
