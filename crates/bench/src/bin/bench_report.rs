@@ -1,6 +1,6 @@
 //! Pinned-size performance report — emits the machine-readable
-//! `BENCH_4.json` tracked at the repo root, and regression-gates the
-//! `BENCH_3.json` baseline.
+//! `BENCH_5.json` tracked at the repo root, and regression-gates the
+//! `BENCH_4.json` baseline.
 //!
 //! Criterion gives the full statistical story (`cargo bench`); this bin
 //! runs a small fixed set of measurements with `std::time::Instant`
@@ -9,9 +9,12 @@
 //!
 //! * **entries** — the PR 2 before/after pairs, re-measured on today's
 //!   engines (naive `refine` oracle vs the adaptive worklist, fresh tree
-//!   walks vs consed caches, cold vs warm exploration), plus PR 4's B11
+//!   walks vs consed caches, cold vs warm exploration), PR 4's B11
 //!   observability-overhead pair (metrics registry off vs on around the
-//!   τ-ladder worklist refinement);
+//!   τ-ladder worklist refinement), and PR 5's B12 resilience pairs
+//!   (budgeted refinement with an inert checkpoint config vs snapshots
+//!   every 8 rounds, and cold pipeline restart vs resume from a
+//!   checkpoint taken at 50% of the pipeline's units);
 //! * **thread_series** — PR 3's scaling sweep: the τ-ladder refinement,
 //!   the 3^N exploration and the wide-parallel-composition build, each
 //!   at 1/2/4/8 worker threads. Cold-construction series use tagged
@@ -32,15 +35,26 @@
 //!
 //! `--check` (the CI bench-smoke gate) writes nothing: it re-measures
 //! the recorded entries at the pinned sizes and **fails** if any entry's
-//! speedup regresses below 0.9× the value recorded in `BENCH_3.json`
+//! speedup regresses below 0.9× the value recorded in `BENCH_4.json`
 //! (up to three attempts per entry to ride out scheduler noise).
+//! Cold-start entries — whose recorded baseline is a single first-run
+//! sample, dominated by allocator and page-cache state — gate at 0.5×
+//! instead: that still trips if the memo layer stops serving warm runs
+//! (the ratio collapses to ~1×) without tripping on host drift.
 
 use bpi_bench::{
     deep_term, independent_components_tagged, scaled_pair, tau_chain, wide_par_tagged,
 };
 use bpi_core::syntax::Defs;
-use bpi_equiv::{refine, refine_parallel, refine_worklist, shared_pool, Graph, Opts, Variant};
-use bpi_semantics::{explore, explore_parallel, Budget, ExploreOpts};
+use bpi_equiv::{
+    refine, refine_budgeted, refine_parallel, refine_worklist, shared_pool, Checker, Checkpoint,
+    Graph, Opts, RefineCheckpoint, Variant,
+};
+use bpi_semantics::{
+    explore, explore_parallel, Budget, CheckpointCfg, CheckpointSlot, ExploreOpts,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -239,7 +253,102 @@ fn measure_entries(s: &Sizes, tag: &str) -> Vec<Entry> {
         optimized_us: on_us,
         note: "worklist refinement with the metrics registry disabled vs enabled (no sink)",
     });
+
+    // B12 — checkpoint overhead. The budgeted refinement engine on the
+    // same prebuilt τ-ladder pair, once with an inert config (no fuel,
+    // no slot) and once snapshotting the full surviving relation into a
+    // slot every 8 rounds (a dense periodic cadence: ~6 snapshots over
+    // the ladder's ~48 rounds, vs the supervised checker's default of
+    // one per 256 units). baseline = inert, optimized = periodic
+    // snapshots, so as with B11 the speedup reads 1/(1+overhead) and
+    // the ≤5% budget of EXPERIMENTS.md B12 means speedup ≥ ~0.95.
+    let inert: CheckpointCfg<RefineCheckpoint> = CheckpointCfg::default();
+    let slot = CheckpointSlot::new();
+    let periodic8 = CheckpointCfg::periodic(8, slot.clone());
+    let unlimited = Budget::unlimited();
+    // Interleave the two sides sample-by-sample: on a busy host,
+    // frequency drift between two separate measurement passes easily
+    // exceeds the few-percent effect being measured.
+    let mut inert_samples = Vec::with_capacity(s.reps);
+    let mut every_samples = Vec::with_capacity(s.reps);
+    for _ in 0..s.reps.max(1) {
+        let t = Instant::now();
+        assert!(
+            refine_budgeted(Variant::StrongLabelled, &lg1, &lg2, 1, &unlimited, &inert)
+                .expect("unlimited budget cannot interrupt")
+                .holds(0, 0)
+        );
+        inert_samples.push(t.elapsed().as_secs_f64() * 1e6);
+        let t = Instant::now();
+        assert!(refine_budgeted(
+            Variant::StrongLabelled,
+            &lg1,
+            &lg2,
+            1,
+            &unlimited,
+            &periodic8
+        )
+        .expect("unlimited budget cannot interrupt")
+        .holds(0, 0));
+        every_samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert!(slot.take().is_some(), "periodic cfg published a snapshot");
+    }
+    inert_samples.sort_by(f64::total_cmp);
+    every_samples.sort_by(f64::total_cmp);
+    let inert_us = inert_samples[inert_samples.len() / 2];
+    let every_us = every_samples[every_samples.len() / 2];
+    entries.push(Entry {
+        id: "checkpoint/refine-budgeted/tau-ladder/inert-vs-periodic-8",
+        baseline_us: inert_us,
+        optimized_us: every_us,
+        note: "budgeted refinement without vs with a full-relation snapshot every 8 rounds",
+    });
+
+    // B12 — resume vs cold restart. Probe the checkpointed pipeline
+    // once to learn its total unit count (explored states of both
+    // builds plus refinement rounds), interrupt a fuelled run at half
+    // that, then compare re-running the whole pipeline from scratch
+    // against resuming from the checkpoint carried inside the typed
+    // error. The checkpointed path bypasses the graph memo, so both
+    // sides redo real construction work; the probe warms the semantic
+    // successor caches for both sides equally.
+    let checker = Checker::new(&defs).with_threads(1);
+    let tank = Arc::new(AtomicUsize::new(1 << 30));
+    let probe: CheckpointCfg<Checkpoint> = CheckpointCfg::default().with_fuel(tank.clone());
+    checker
+        .run_with_checkpoint(Variant::StrongLabelled, &ladder, &ladder, &probe)
+        .unwrap_or_else(|i| panic!("ladder pipeline fits: {}", i.error));
+    let total_units = (1usize << 30) - tank.load(Ordering::SeqCst);
+    let half = CheckpointCfg::fuelled((total_units / 2).max(1));
+    let ck = match checker.run_with_checkpoint(Variant::StrongLabelled, &ladder, &ladder, &half) {
+        Err(i) => i.checkpoint,
+        Ok(_) => panic!("half fuel should interrupt mid-pipeline"),
+    };
+    let cold_us = median_us(s.reps, || {
+        assert!(checker
+            .run_with_checkpoint(Variant::StrongLabelled, &ladder, &ladder, &inert_pipeline())
+            .unwrap_or_else(|i| panic!("inert run cannot interrupt: {}", i.error))
+            .2
+            .holds(0, 0));
+    });
+    let resume_us = median_us(s.reps, || {
+        assert!(checker
+            .resume_from(Variant::StrongLabelled, ck.clone(), &inert_pipeline())
+            .unwrap_or_else(|i| panic!("inert resume cannot interrupt: {}", i.error))
+            .2
+            .holds(0, 0));
+    });
+    entries.push(Entry {
+        id: "checkpoint/checker/tau-ladder/cold-restart-vs-resume",
+        baseline_us: cold_us,
+        optimized_us: resume_us,
+        note: "full pipeline re-run vs resume from a checkpoint taken at 50% of its units",
+    });
     entries
+}
+
+fn inert_pipeline() -> CheckpointCfg<Checkpoint> {
+    CheckpointCfg::default()
 }
 
 /// B10 — the PR 3 thread-scaling sweep.
@@ -348,13 +457,24 @@ fn read_recorded_speedups(path: &str) -> Vec<(String, f64)> {
     out
 }
 
-/// The CI regression gate: every BENCH_2 entry must still reach at
-/// least 0.9× its recorded speedup. Re-measures a failing entry up to
-/// three times before declaring a regression.
+/// Per-entry gate factor: steady-state measurements must reach 0.9× of
+/// their recorded speedup; cold-start measurements (single-sample
+/// baselines) only 0.5×, which still catches a broken memo layer.
+fn gate_factor(id: &str) -> f64 {
+    if id.contains("/cold-vs-warm") {
+        0.5
+    } else {
+        0.9
+    }
+}
+
+/// The CI regression gate: every BENCH_4 entry must still reach at
+/// least its gate factor times its recorded speedup. Re-measures a
+/// failing entry up to three times before declaring a regression.
 fn run_check(sizes: &Sizes) -> bool {
-    let recorded = read_recorded_speedups("BENCH_3.json");
+    let recorded = read_recorded_speedups("BENCH_4.json");
     if recorded.is_empty() {
-        eprintln!("--check: BENCH_3.json missing or unparsable; nothing to gate");
+        eprintln!("--check: BENCH_4.json missing or unparsable; nothing to gate");
         return true;
     }
     let mut failing: Vec<String> = recorded.iter().map(|(id, _)| id.clone()).collect();
@@ -369,9 +489,10 @@ fn run_check(sizes: &Sizes) -> bool {
                 return true;
             };
             let got = e.speedup();
-            let pass = got >= 0.9 * want;
+            let factor = gate_factor(id);
+            let pass = got >= factor * want;
             eprintln!(
-                "--check[{attempt}] {:<48} {:>6.2}x (recorded {:>5.2}x) {}",
+                "--check[{attempt}] {:<48} {:>6.2}x (recorded {:>5.2}x, gate {factor}x) {}",
                 id,
                 got,
                 want,
@@ -384,7 +505,10 @@ fn run_check(sizes: &Sizes) -> bool {
         }
     }
     for id in &failing {
-        eprintln!("--check: REGRESSION {id}: speedup below 0.9x of BENCH_3.json after 3 attempts");
+        eprintln!(
+            "--check: REGRESSION {id}: speedup below {}x of BENCH_4.json after 3 attempts",
+            gate_factor(id)
+        );
     }
     false
 }
@@ -430,7 +554,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
 
     let sizes = Sizes {
         ladder_n: 48,
@@ -443,7 +567,7 @@ fn main() {
 
     if check {
         if run_check(&sizes) {
-            eprintln!("--check: all BENCH_3 entries within tolerance");
+            eprintln!("--check: all BENCH_4 entries within tolerance");
             return;
         }
         std::process::exit(1);
@@ -459,7 +583,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"bpi-bench-report/v1\",\n");
-    json.push_str("  \"pr\": 4,\n");
+    json.push_str("  \"pr\": 5,\n");
     json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str(&format!(
         "  \"pinned\": {{ \"tau_ladder\": {}, \"scaled_sums\": {}, \"explore_components\": {}, \"wide_par\": {wide_n}, \"term_depth\": {}, \"repeats\": {} }},\n",

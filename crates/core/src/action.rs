@@ -162,6 +162,85 @@ impl fmt::Display for Action {
     }
 }
 
+/// Parses the [`Display`](fmt::Display) rendering back into an
+/// [`Action`] — `tau`, `a(x,y)`, `a<x,y>`, `new x a<b,x>`, `a:`. The
+/// round-trip through text is what lets checkpoints and serde formats
+/// carry labels without exposing interner ids; any name spelling the
+/// interner accepts (including pool names like `#b0`) parses back to
+/// the same interned [`Name`].
+impl std::str::FromStr for Action {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Action, String> {
+        fn name(s: &str) -> Result<Name, String> {
+            if s.is_empty() {
+                return Err("empty name in action".into());
+            }
+            if s.chars()
+                .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | '<' | '>' | ',' | ':'))
+            {
+                return Err(format!("invalid name {s:?} in action"));
+            }
+            Ok(Name::intern_raw(s))
+        }
+        fn list(s: &str) -> Result<Vec<Name>, String> {
+            if s.is_empty() {
+                return Ok(Vec::new());
+            }
+            s.split(',').map(name).collect()
+        }
+
+        let s = s.trim();
+        if s == "tau" {
+            return Ok(Action::Tau);
+        }
+        let (bound, rest) = match s.strip_prefix("new ") {
+            Some(r) => {
+                let sp = r
+                    .find(' ')
+                    .ok_or_else(|| format!("binder list without output in {s:?}"))?;
+                (list(&r[..sp])?, &r[sp + 1..])
+            }
+            None => (Vec::new(), s),
+        };
+        if let Some(chan) = rest.strip_suffix(':') {
+            if !bound.is_empty() {
+                return Err(format!("discard cannot bind names: {s:?}"));
+            }
+            return Ok(Action::Discard { chan: name(chan)? });
+        }
+        if let Some(i) = rest.find('(') {
+            let inner = rest[i + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unterminated input in {s:?}"))?;
+            if !bound.is_empty() {
+                return Err(format!("input cannot extrude names: {s:?}"));
+            }
+            return Ok(Action::Input {
+                chan: name(&rest[..i])?,
+                objects: list(inner)?,
+            });
+        }
+        if let Some(i) = rest.find('<') {
+            let inner = rest[i + 1..]
+                .strip_suffix('>')
+                .ok_or_else(|| format!("unterminated output in {s:?}"))?;
+            let objects = list(inner)?;
+            for b in &bound {
+                if !objects.contains(b) {
+                    return Err(format!("extruded name {b} not among the objects in {s:?}"));
+                }
+            }
+            return Ok(Action::Output {
+                chan: name(&rest[..i])?,
+                objects,
+                bound,
+            });
+        }
+        Err(format!("unrecognised action {s:?}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +294,57 @@ mod tests {
             "new x a<b,x>"
         );
         assert_eq!(Action::Discard { chan: a }.to_string(), "a:");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        let cases = vec![
+            Action::Tau,
+            Action::Input {
+                chan: a,
+                objects: vec![],
+            },
+            Action::Input {
+                chan: a,
+                objects: vec![b, x],
+            },
+            Action::free_output(a, vec![]),
+            Action::free_output(a, vec![b]),
+            Action::Output {
+                chan: a,
+                objects: vec![b, x],
+                bound: vec![x],
+            },
+            Action::Output {
+                chan: a,
+                objects: vec![b, x],
+                bound: vec![b, x],
+            },
+            Action::Discard { chan: a },
+        ];
+        for act in cases {
+            let text = act.to_string();
+            let back: Action = text.parse().unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            assert_eq!(back, act, "round-trip of {text:?}");
+        }
+        // Pool-style spellings survive the trip.
+        let pool = Action::free_output(Name::intern_raw("#b0"), vec![Name::intern_raw("#b1")]);
+        assert_eq!(pool.to_string().parse::<Action>().unwrap(), pool);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "a<b",
+            "a(b",
+            "new x a(b)",
+            "new x a<b>",
+            "new a:",
+            "a b",
+        ] {
+            assert!(bad.parse::<Action>().is_err(), "accepted {bad:?}");
+        }
     }
 }

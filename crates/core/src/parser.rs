@@ -125,14 +125,17 @@ impl<'a> Lexer<'a> {
             b';' => simple(Tok::Semi),
             b'0' => simple(Tok::Zero),
             // `#` admits canonical names (#0, #1, …) so that pretty-printed
-            // α-canonical forms re-parse; `~` admits fresh names (x~3).
-            c if c.is_ascii_alphabetic() || c == b'_' || c == b'#' => {
+            // α-canonical forms re-parse; `~` admits fresh names (x~3); `!`
+            // admits the fault-harness names (`!nx0`, `a!deaf`), which must
+            // survive the checkpoint text codec.
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'#' || c == b'!' => {
                 while self.pos < self.src.len()
                     && (self.src[self.pos].is_ascii_alphanumeric()
                         || self.src[self.pos] == b'_'
                         || self.src[self.pos] == b'\''
                         || self.src[self.pos] == b'~'
-                        || self.src[self.pos] == b'#')
+                        || self.src[self.pos] == b'#'
+                        || self.src[self.pos] == b'!')
                 {
                     self.pos += 1;
                 }
@@ -511,6 +514,17 @@ mod tests {
         assert_eq!(defs.len(), 2);
         let fwd = defs.get(Ident::new("Fwd")).unwrap();
         assert_eq!(fwd.params.len(), 2);
+    }
+
+    #[test]
+    fn fault_harness_names_roundtrip() {
+        // The fault combinators (`noise`, `deafen`) and the chaos harness
+        // intern names containing `!`; checkpoints of fault-instrumented
+        // systems must survive the text codec.
+        roundtrip("a(!nx0).rec Noise(a){ a(!nx0).Noise<a> }<a>");
+        roundtrip("a!deaf(x).x<>");
+        let p = parse_process("a!deaf<b>").unwrap();
+        assert_eq!(p, out_(Name::intern_raw("a!deaf"), [Name::intern_raw("b")]));
     }
 
     #[test]

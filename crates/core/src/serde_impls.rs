@@ -12,6 +12,7 @@
 //! Deserialisation of a `Process` rejects malformed text with the
 //! format's error type, carrying the parser's position diagnostics.
 
+use crate::action::Action;
 use crate::name::Name;
 use crate::parser::{parse_defs, parse_process};
 use crate::syntax::{Defs, Ident, Process};
@@ -70,6 +71,30 @@ impl Visitor<'_> for IdentVisitor {
 impl<'de> Deserialize<'de> for Ident {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Ident, D::Error> {
         d.deserialize_str(IdentVisitor)
+    }
+}
+
+impl Serialize for Action {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_str(self)
+    }
+}
+
+struct ActionVisitor;
+
+impl Visitor<'_> for ActionVisitor {
+    type Value = Action;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a transition label (tau, a(x), a<x>, new x a<x>, a:)")
+    }
+    fn visit_str<E: DeError>(self, v: &str) -> Result<Action, E> {
+        v.parse().map_err(E::custom)
+    }
+}
+
+impl<'de> Deserialize<'de> for Action {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Action, D::Error> {
+        d.deserialize_str(ActionVisitor)
     }
 }
 
@@ -276,6 +301,21 @@ mod tests {
         assert_eq!(to_string(&a), "alpha");
         let d: StrDeserializer<'_, ValueError> = "alpha".into_deserializer();
         assert_eq!(Name::deserialize(d).unwrap(), a);
+    }
+
+    #[test]
+    fn action_roundtrip() {
+        let [a, b, x] = names(["a", "b", "x"]);
+        let act = crate::action::Action::Output {
+            chan: a,
+            objects: vec![b, x],
+            bound: vec![x],
+        };
+        assert_eq!(to_string(&act), "new x a<b,x>");
+        let d: StrDeserializer<'_, ValueError> = "new x a<b,x>".into_deserializer();
+        assert_eq!(crate::action::Action::deserialize(d).unwrap(), act);
+        let bad: StrDeserializer<'_, ValueError> = "a<b".into_deserializer();
+        assert!(crate::action::Action::deserialize(bad).is_err());
     }
 
     #[test]

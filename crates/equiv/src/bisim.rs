@@ -32,12 +32,14 @@
 //! the [`Checker`] runs that, with its thread count defaulting to the
 //! `BPI_THREADS` policy of [`bpi_semantics::threads`].
 
+use crate::checkpoint::RefineCheckpoint;
 use crate::graph::{shared_pool, Graph, Opts};
 use bpi_core::action::Action;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, P};
 use bpi_obs::{counter, Counter, Det, Value};
 use bpi_semantics::budget::{Budget, EngineError};
+use bpi_semantics::checkpoint::{record_snapshot, CheckpointCfg, Interrupted};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::{Arc, LazyLock};
@@ -64,6 +66,10 @@ static PARALLEL_ROUNDS: LazyLock<&Counter> =
     LazyLock::new(|| counter("equiv.refine.parallel.rounds", Det::Advisory));
 static PARALLEL_CHUNKS: LazyLock<&Counter> =
     LazyLock::new(|| counter("equiv.refine.parallel.chunks", Det::Advisory));
+static PARALLEL_ROUND_RETRIES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.parallel.round_retries", Det::Advisory));
+static BUDGETED_ROUNDS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.refine.budgeted.rounds", Det::Advisory));
 
 /// Exit bookkeeping shared by the three engines: exactly one call per
 /// public engine invocation (the small-product cutovers delegate before
@@ -517,7 +523,24 @@ pub fn refine_parallel(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> Pa
     let mut queued = vec![false; n1 * n2];
     while !dirty.is_empty() {
         rounds += 1;
-        let kills = check_round(v, g1, g2, &pr, &dirty, threads);
+        let kills = match check_round(v, g1, g2, &pr, &dirty, threads) {
+            Ok(kills) => kills,
+            Err(_) => {
+                // A chunk worker panicked (in practice only the chaos
+                // harness does this — the workers otherwise only read the
+                // graphs and the snapshot). The round's kill set is a pure
+                // function of `(dirty, rel)`, so re-running it on the
+                // calling thread yields the identical round result and the
+                // engine stays total; the budgeted engine surfaces the
+                // typed error instead.
+                PARALLEL_ROUND_RETRIES.inc();
+                bpi_obs::emit("equiv.refine", "round_retried", || {
+                    vec![("dirty", Value::from(dirty.len()))]
+                });
+                check_round(v, g1, g2, &pr, &dirty, 1)
+                    .expect("sequential round re-run cannot panic")
+            }
+        };
         if kills.is_empty() {
             break;
         }
@@ -553,6 +576,10 @@ pub fn refine_parallel(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> Pa
 /// crossbeam workers when the round is large enough to amortise the
 /// scope; the sequential and chunked paths filter the same slice in the
 /// same order, so the result is identical either way.
+///
+/// A panicking chunk worker is contained by the crossbeam scope and
+/// surfaces as `Err(EngineError::WorkerPanicked)` — never an abort. The
+/// sequential path (`threads <= 1` or a small round) cannot fail.
 fn check_round(
     v: Variant,
     g1: &Graph,
@@ -560,18 +587,18 @@ fn check_round(
     pr: &PairRelation,
     dirty: &[(u32, u32)],
     threads: usize,
-) -> Vec<(u32, u32)> {
+) -> Result<Vec<(u32, u32)>, EngineError> {
     let check = |i: usize, j: usize| {
         let fwd = RelView::new(&pr.rel, false);
         let bwd = RelView::new(&pr.rel, true);
         pr.rel[i][j] && !(direction(v, g1, i, g2, j, fwd) && direction(v, g2, j, g1, i, bwd))
     };
     if threads <= 1 || dirty.len() < PAR_ROUND_MIN {
-        return dirty
+        return Ok(dirty
             .iter()
             .copied()
             .filter(|&(i, j)| check(i as usize, j as usize))
-            .collect();
+            .collect());
     }
     let chunk = dirty.len().div_ceil(threads);
     let slots: Vec<Mutex<Vec<(u32, u32)>>> = dirty
@@ -580,10 +607,13 @@ fn check_round(
         .collect();
     PARALLEL_CHUNKS.add(slots.len() as u64);
     bpi_obs::histogram("equiv.refine.parallel.chunk_size").record(chunk as u64);
-    crossbeam::scope(|s| {
+    let joined = crossbeam::scope(|s| {
         for (part, slot) in dirty.chunks(chunk).zip(&slots) {
             let check = &check;
             s.spawn(move |_| {
+                // Chaos injection point: may panic under an installed
+                // `BPI_CHAOS` plan; the scope contains the unwind.
+                bpi_semantics::chaos::worker_tick("equiv.refine.chunk");
                 let mut local = Vec::new();
                 for &(i, j) in part {
                     if check(i as usize, j as usize) {
@@ -593,15 +623,18 @@ fn check_round(
                 *slot.lock() = local;
             });
         }
-    })
-    // The workers only read the graphs and the snapshot; a panic here is
-    // a bug in `direction` and would have unwound sequentially too.
-    .expect("refinement worker panicked");
+    });
+    // The workers only read the graphs and the snapshot; outside the
+    // chaos harness a panic here is a bug in `direction` that would have
+    // unwound sequentially too. Either way it becomes a typed error.
+    if joined.is_err() {
+        return Err(EngineError::WorkerPanicked);
+    }
     let mut kills = Vec::new();
     for slot in slots {
         kills.extend(slot.into_inner());
     }
-    kills
+    Ok(kills)
 }
 
 /// Engine dispatch used by the [`Checker`]: the naive sweep below
@@ -616,6 +649,160 @@ pub fn refine_auto(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> PairRe
     } else {
         refine_worklist(v, g1, g2)
     }
+}
+
+/// Per-round interruption poll of the budgeted refinement engine: chaos
+/// budget pressure (armed supervisors only), the real budget's
+/// deadline/cancellation, then the checkpoint fuel countdown.
+fn poll_round<C>(cfg: &CheckpointCfg<C>, budget: &Budget) -> Result<(), EngineError> {
+    bpi_semantics::chaos::pressure("equiv.refine.pressure")?;
+    budget.check(0)?;
+    cfg.burn_fuel()
+}
+
+/// The round-synchronous engine of [`refine_parallel`] under a [`Budget`]
+/// and a [`CheckpointCfg`]: identical fixpoint, but the engine polls the
+/// budget at every round boundary and any interruption — deadline,
+/// cancellation, chaos pressure, fuel exhaustion, or a panicked chunk
+/// worker — returns [`Interrupted`] carrying a [`RefineCheckpoint`]
+/// instead of aborting or discarding the rounds already run.
+///
+/// **Why a checkpoint is just the relation.** All engines here are
+/// chaotic iterations of the same monotone transfer operator, so every
+/// intermediate relation is a superset of the greatest fixpoint.
+/// [`refine_resume`] therefore only needs the relation snapshot: it
+/// re-seeds the dirty set with *all* surviving pairs and iterates on —
+/// sound for a snapshot taken by any of the three engines, at any round
+/// boundary, at any thread count.
+///
+/// Deterministic refinement metrics ([`record_refine`]) are recorded
+/// exactly once, on completion — an interrupted run records nothing, so
+/// an interrupted-and-resumed run leaves the same deterministic counter
+/// trail as an uninterrupted one.
+pub fn refine_budgeted(
+    v: Variant,
+    g1: &Graph,
+    g2: &Graph,
+    threads: usize,
+    budget: &Budget,
+    cfg: &CheckpointCfg<RefineCheckpoint>,
+) -> Result<PairRelation, Interrupted<RefineCheckpoint>> {
+    let pr = PairRelation::full(g1.len(), g2.len());
+    refine_rounds(v, g1, g2, threads, budget, cfg, pr, 0)
+}
+
+/// Continues [`refine_budgeted`] from a snapshot taken by any refinement
+/// engine at a round boundary (see there for why the relation alone
+/// suffices). The snapshot's dimensions must match the graphs.
+pub fn refine_resume(
+    v: Variant,
+    g1: &Graph,
+    g2: &Graph,
+    threads: usize,
+    budget: &Budget,
+    cfg: &CheckpointCfg<RefineCheckpoint>,
+    ckpt: RefineCheckpoint,
+) -> Result<PairRelation, Interrupted<RefineCheckpoint>> {
+    assert_eq!(ckpt.rel.len(), g1.len(), "checkpoint/graph row mismatch");
+    assert!(
+        ckpt.rel.iter().all(|row| row.len() == g2.len()),
+        "checkpoint/graph column mismatch"
+    );
+    bpi_semantics::checkpoint::record_resume("refine");
+    let rounds = ckpt.rounds;
+    refine_rounds(
+        v,
+        g1,
+        g2,
+        threads,
+        budget,
+        cfg,
+        PairRelation { rel: ckpt.rel },
+        rounds,
+    )
+}
+
+fn refine_rounds(
+    v: Variant,
+    g1: &Graph,
+    g2: &Graph,
+    threads: usize,
+    budget: &Budget,
+    cfg: &CheckpointCfg<RefineCheckpoint>,
+    mut pr: PairRelation,
+    mut rounds: u64,
+) -> Result<PairRelation, Interrupted<RefineCheckpoint>> {
+    let threads = threads.max(1);
+    let (n1, n2) = (g1.len(), g2.len());
+    if n1 == 0 || n2 == 0 {
+        record_refine("budgeted", &pr, n1, n2);
+        return Ok(pr);
+    }
+    let snapshot = |pr: &PairRelation, rounds: u64| RefineCheckpoint {
+        rel: pr.rel.clone(),
+        rounds,
+    };
+    // Seed the dirty set with every surviving pair (for a fresh run, all
+    // of them): a superset of the pairs any engine would re-examine, so
+    // the chaotic iteration still converges to the same fixpoint.
+    let mut dirty: Vec<(u32, u32)> = (0..n1 as u32)
+        .flat_map(|i| (0..n2 as u32).map(move |j| (i, j)))
+        .filter(|&(i, j)| pr.rel[i as usize][j as usize])
+        .collect();
+    let mut deps: Option<(DepSets, DepSets)> = None;
+    let mut queued = vec![false; n1 * n2];
+    while !dirty.is_empty() {
+        if let Err(e) = poll_round(cfg, budget) {
+            record_snapshot("interrupt");
+            return Err(Interrupted {
+                error: e,
+                checkpoint: snapshot(&pr, rounds),
+            });
+        }
+        let kills = match check_round(v, g1, g2, &pr, &dirty, threads) {
+            Ok(kills) => kills,
+            Err(e) => {
+                // A panicked chunk worker: the relation is untouched (the
+                // round's kills were never applied), so the snapshot is a
+                // valid round boundary and the caller can resume — or
+                // retry under a supervisor — without losing rounds.
+                record_snapshot("interrupt");
+                return Err(Interrupted {
+                    error: e,
+                    checkpoint: snapshot(&pr, rounds),
+                });
+            }
+        };
+        rounds += 1;
+        if kills.is_empty() {
+            break;
+        }
+        for &(i, j) in &kills {
+            pr.rel[i as usize][j as usize] = false;
+        }
+        let (dep1, dep2) =
+            deps.get_or_insert_with(|| (dependents(g1, v.is_weak()), dependents(g2, v.is_weak())));
+        let mut next: Vec<(u32, u32)> = Vec::new();
+        for &(i, j) in &kills {
+            for &pi in &dep1[i as usize] {
+                for &pj in &dep2[j as usize] {
+                    if pr.rel[pi][pj] && !queued[pi * n2 + pj] {
+                        queued[pi * n2 + pj] = true;
+                        next.push((pi as u32, pj as u32));
+                    }
+                }
+            }
+        }
+        for &(i, j) in &next {
+            queued[i as usize * n2 + j as usize] = false;
+        }
+        next.sort_unstable();
+        dirty = next;
+        cfg.maybe_snapshot(rounds as usize, || snapshot(&pr, rounds));
+    }
+    BUDGETED_ROUNDS.add(rounds);
+    record_refine("budgeted", &pr, n1, n2);
+    Ok(pr)
 }
 
 /// One direction of the transfer property: every move of `(ga, i)` is

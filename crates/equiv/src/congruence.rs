@@ -99,16 +99,31 @@ where
         .chunks(chunk)
         .map(|_| Mutex::new(Vec::new()))
         .collect();
-    crossbeam::scope(|s| {
+    let joined = crossbeam::scope(|s| {
         for (part, slot) in instances.chunks(chunk).zip(&slots) {
             let check = &check;
             s.spawn(move |_| {
+                bpi_semantics::chaos::worker_tick("equiv.congruence.sweep");
                 let out: Vec<_> = part.iter().map(|(ps, qs)| check(ps, qs)).collect();
                 *slot.lock() = out;
             });
         }
-    })
-    .expect("congruence sweep worker panicked");
+    });
+    if joined.is_err() {
+        // A sweep worker died (chaos-injected or real). The sweep is a
+        // pure conjunction over independent instances, so the in-order
+        // sequential pass is the canonical answer — recover on it
+        // instead of aborting the process.
+        bpi_obs::emit("equiv.congruence", "sweep_recovered", || {
+            vec![("instances", bpi_obs::Value::from(instances.len()))]
+        });
+        for (ps, qs) in &instances {
+            if !check(ps, qs)? {
+                return Ok(false);
+            }
+        }
+        return Ok(true);
+    }
     for slot in slots {
         for r in slot.into_inner() {
             if !r? {

@@ -125,12 +125,26 @@ pub fn try_explain(
     let g1 = Graph::build_cached(p, defs, &pool, opts, &budget)?;
     let g2 = Graph::build_cached(q, defs, &pool, opts, &budget)?;
     let rel = refine_worklist(v, &g1, &g2);
-    if rel.holds(0, 0) {
-        return Ok(None);
+    Ok(explain_fixpoint(v, &g1, &g2, &rel.rel))
+}
+
+/// Extracts a distinction from an **already-computed** fixpoint — the
+/// shape [`crate::bisim::Checker::run_with_checkpoint`] and the
+/// supervised checker hand back — without rebuilding graphs or
+/// re-refining, so a resumed or supervised run can explain its `Fails`
+/// verdict for free. `None` when the root pair survived refinement.
+pub fn explain_fixpoint(
+    v: Variant,
+    g1: &Graph,
+    g2: &Graph,
+    rel: &[Vec<bool>],
+) -> Option<Distinction> {
+    if rel[0][0] {
+        return None;
     }
     let initial_budget = g1.len() * g2.len() + 2;
     let mut depth_budget = initial_budget;
-    let d = explain_pair(v, &g1, 0, &g2, 0, &rel.rel, &mut depth_budget);
+    let d = explain_pair(v, g1, 0, g2, 0, rel, &mut depth_budget);
     // The experiment is a function of the fixpoint relation, which is
     // engine- and thread-independent — so the count and search depth
     // replay deterministically.
@@ -143,7 +157,7 @@ pub fn try_explain(
             ("experiment", bpi_obs::Value::from(d.to_string())),
         ]
     });
-    Ok(Some(d))
+    Some(d)
 }
 
 fn related(rel: &[Vec<bool>], i: usize, j: usize) -> bool {

@@ -19,6 +19,7 @@
 //! Discard information (`p —a:→`) is stored per state so that checkers
 //! can form the `a(b)?` "input-or-discard" move sets of the paper.
 
+use crate::checkpoint::GraphCheckpoint;
 use bpi_core::action::Action;
 use bpi_core::name::{Name, NameSet};
 use bpi_core::subst::Subst;
@@ -26,6 +27,7 @@ use bpi_core::syntax::{Defs, P};
 use bpi_core::Consed;
 use bpi_obs::{counter, Counter, Det, Value};
 use bpi_semantics::budget::{Budget, EngineError};
+use bpi_semantics::checkpoint::{record_snapshot, CheckpointCfg, Interrupted};
 use bpi_semantics::frontier::{expand_frontier, renumber_bfs, Expansion};
 use bpi_semantics::lts::{tuples, Lts};
 use bpi_semantics::{input_transitions_cached, normalize_state_cached, step_transitions_cached};
@@ -613,6 +615,198 @@ impl Graph {
         Ok(Graph::from_parts(states, edges, discarding, pool.to_vec()))
     }
 
+    /// [`Graph::build_with_budget`] in checkpointed form: any
+    /// interruption — state-ceiling exhaustion, deadline, cancellation,
+    /// chaos pressure, or checkpoint-fuel exhaustion — returns
+    /// [`Interrupted`] carrying a [`GraphCheckpoint`] from which
+    /// [`Graph::resume_from`] continues without re-expanding a single
+    /// state. A completed build is **bit-identical** to
+    /// [`Graph::build`]'s (same FIFO expansion, same numbering), and the
+    /// state-ceiling error fires at exactly the same expansion: per
+    /// source state the successors are staged and committed only when
+    /// they fit under the ceiling, so the committed prefix never exceeds
+    /// the cap and the snapshot always re-expands from a whole-state
+    /// boundary.
+    ///
+    /// Unlike [`Graph::build_cached`] this never consults the global
+    /// graph memo, and it records the deterministic build counters only
+    /// on completion — so an interrupted-and-resumed build leaves the
+    /// same deterministic counter trail as a straight one.
+    pub fn build_with_checkpoint(
+        seed: &P,
+        defs: &Defs,
+        pool: &[Name],
+        opts: Opts,
+        budget: &Budget,
+        cfg: &CheckpointCfg<GraphCheckpoint>,
+    ) -> Result<Graph, Interrupted<GraphCheckpoint>> {
+        Graph::continue_build(GraphCheckpoint::seed(seed, pool), defs, opts, budget, cfg)
+    }
+
+    /// Continues a checkpointed build from a snapshot produced by
+    /// [`Graph::build_with_checkpoint`] (under a fresh — typically grown —
+    /// budget). A snapshot with an empty pending queue is already
+    /// complete and assembles immediately.
+    pub fn resume_from(
+        ck: GraphCheckpoint,
+        defs: &Defs,
+        opts: Opts,
+        budget: &Budget,
+        cfg: &CheckpointCfg<GraphCheckpoint>,
+    ) -> Result<Graph, Interrupted<GraphCheckpoint>> {
+        bpi_semantics::checkpoint::record_resume("graph");
+        Graph::continue_build(ck, defs, opts, budget, cfg)
+    }
+
+    /// The engine behind [`Graph::build_with_checkpoint`] /
+    /// [`Graph::resume_from`]: the same FIFO expansion as
+    /// [`Graph::build_sequential_inner`], restarted from a snapshot, with
+    /// commit-or-abort staging per source state.
+    pub(crate) fn continue_build(
+        ck: GraphCheckpoint,
+        defs: &Defs,
+        opts: Opts,
+        budget: &Budget,
+        cfg: &CheckpointCfg<GraphCheckpoint>,
+    ) -> Result<Graph, Interrupted<GraphCheckpoint>> {
+        let _span = bpi_obs::span("equiv.graph", "build_checkpointed");
+        let GraphCheckpoint {
+            mut states,
+            mut edges,
+            mut discarding,
+            mut pending,
+            pool,
+        } = ck;
+        assert_eq!(states.len(), edges.len(), "corrupt checkpoint: edges");
+        assert_eq!(
+            states.len(),
+            discarding.len(),
+            "corrupt checkpoint: discards"
+        );
+        let lts = Lts::new(defs);
+        let pool_set = NameSet::from_iter(pool.iter().copied());
+        let cap = opts.max_states.min(budget.max_states());
+        #[allow(clippy::mutable_key_type)]
+        let mut index: HashMap<Consed, usize> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (bpi_core::cons(s), i))
+            .collect();
+        macro_rules! snapshot {
+            () => {
+                GraphCheckpoint {
+                    states: states.clone(),
+                    edges: edges.clone(),
+                    discarding: discarding.clone(),
+                    pending: pending.clone(),
+                    pool: pool.clone(),
+                }
+            };
+        }
+        // Peek-then-commit: the front of `pending` stays queued until its
+        // whole expansion is committed, so an interruption mid-state
+        // re-expands it on resume (expansion is a pure function of the
+        // state — the redo is invisible in the result).
+        while let Some(&i) = pending.front() {
+            if let Err(e) = (|| {
+                bpi_semantics::chaos::pressure("equiv.graph.pressure")?;
+                budget.check(0)?;
+                cfg.burn_fuel()
+            })() {
+                record_snapshot("interrupt");
+                return Err(Interrupted {
+                    error: e,
+                    checkpoint: snapshot!(),
+                });
+            }
+            let src = states[i].clone();
+            let src_free = bpi_core::cached_free_names(&src);
+            let mut dyn_pool = pool.to_vec();
+            for n in &src_free {
+                if !pool_set.contains(n) && n.spelling().starts_with("#b") {
+                    dyn_pool.push(n);
+                }
+            }
+            let avoid = src_free.union(&pool_set);
+
+            // Stage the expansion: fresh states are numbered as the
+            // sequential build would number them, but inserted only if
+            // the whole batch fits under the ceiling.
+            let mut out: Vec<(Action, usize)> = Vec::new();
+            let mut fresh: Vec<P> = Vec::new();
+            #[allow(clippy::mutable_key_type)]
+            let mut fresh_index: HashMap<Consed, usize> = HashMap::new();
+            {
+                let mut stage = |act: Action, cont: P| {
+                    let state = normalize_state_cached(&cont, None);
+                    let key = bpi_core::cons(&state);
+                    let j = match index.get(&key).or_else(|| fresh_index.get(&key)) {
+                        Some(&j) => j,
+                        None => {
+                            let j = states.len() + fresh.len();
+                            fresh_index.insert(key, j);
+                            fresh.push(state);
+                            j
+                        }
+                    };
+                    out.push((act, j));
+                };
+                for (act, cont) in step_transitions_cached(&lts, &src).iter() {
+                    let (act, cont) = normalize_bound_output(act.clone(), cont.clone(), &avoid);
+                    stage(act, cont);
+                }
+                for (act, cont) in input_transitions_cached(&lts, &src, &dyn_pool).iter() {
+                    stage(act.clone(), cont.clone());
+                }
+            }
+            if states.len() + fresh.len() > cap {
+                // Same ceiling as the sequential build (committed states
+                // never exceed `cap`), surfaced with a resumable snapshot
+                // in which `i` is still pending.
+                record_snapshot("interrupt");
+                return Err(Interrupted {
+                    error: EngineError::StateBudgetExceeded { limit: cap },
+                    checkpoint: snapshot!(),
+                });
+            }
+            let mut disc = NameSet::new();
+            for &a in &dyn_pool {
+                if lts.discards(&src, a) {
+                    disc.insert(a);
+                }
+            }
+            // Commit.
+            pending.pop_front();
+            for (key, &j) in &fresh_index {
+                index.insert(key.clone(), j);
+            }
+            for state in fresh {
+                pending.push_back(states.len());
+                states.push(state);
+                edges.push(Vec::new());
+                discarding.push(NameSet::new());
+            }
+            edges[i] = out;
+            discarding[i] = disc;
+            cfg.maybe_snapshot(states.len() - pending.len(), || snapshot!());
+        }
+        Ok(Graph::from_parts(states, edges, discarding, pool))
+    }
+
+    /// Reassembles a graph from a **completed** build snapshot without
+    /// recording build metrics (they were recorded when the original
+    /// build finished).
+    ///
+    /// # Panics
+    /// Panics if the snapshot still has pending states.
+    pub fn from_complete_checkpoint(ck: GraphCheckpoint) -> Graph {
+        assert!(
+            ck.pending.is_empty(),
+            "checkpoint is not a completed build (pending states remain)"
+        );
+        Graph::from_parts_record(ck.states, ck.edges, ck.discarding, ck.pool, false)
+    }
+
     /// Assembles a graph from its construction output: builds the CSR
     /// mirror and the (empty) query caches.
     fn from_parts(
@@ -620,6 +814,21 @@ impl Graph {
         edges: Vec<Vec<(Action, usize)>>,
         discarding: Vec<NameSet>,
         pool: Vec<Name>,
+    ) -> Graph {
+        Graph::from_parts_record(states, edges, discarding, pool, true)
+    }
+
+    /// [`Graph::from_parts`] with the build metrics optionally silenced:
+    /// the checkpoint layer reconstructs graphs from *completed* build
+    /// snapshots whose counters were already recorded when the original
+    /// build finished, and re-recording would break the deterministic
+    /// metric parity between interrupted-and-resumed and straight runs.
+    pub(crate) fn from_parts_record(
+        states: Vec<P>,
+        edges: Vec<Vec<(Action, usize)>>,
+        discarding: Vec<NameSet>,
+        pool: Vec<Name>,
+        record: bool,
     ) -> Graph {
         let csr = {
             let _span = bpi_obs::span("equiv.graph", "csr_freeze");
@@ -634,6 +843,9 @@ impl Graph {
             csr,
             caches,
         };
+        if !record {
+            return g;
+        }
         if bpi_obs::metrics_enabled() {
             BUILDS.inc();
             BUILD_STATES.add(g.len() as u64);
@@ -712,6 +924,13 @@ impl Graph {
             },
         );
         if let Some(e) = outcome.interrupted {
+            if matches!(e, EngineError::WorkerPanicked) && bpi_semantics::chaos::is_active() {
+                // A chaos-injected worker panic, not a real engine fault:
+                // fall back to the bit-identical sequential build without
+                // recording the doomed attempt, so a chaos run leaves the
+                // same deterministic counter trail as a calm one.
+                return Graph::build_with_budget(seed, defs, pool, opts, budget);
+            }
             record_build_err(&e);
             return Err(e);
         }
@@ -757,6 +976,10 @@ impl Graph {
         threads: usize,
     ) -> Result<Arc<Graph>, EngineError> {
         budget.check(0)?;
+        // Chaos injection point: a seeded delay widens the window between
+        // the memo probe and the insert, exercising the double-build race
+        // (benign — both builds are bit-identical).
+        bpi_semantics::chaos::delay("equiv.graph.memo");
         let cap = opts.max_states.min(budget.max_states());
         let key = (bpi_core::cons(seed), defs.generation(), pool.to_vec());
         if let Some(g) = GRAPH_MEMO.read().get(&key) {

@@ -13,10 +13,15 @@
 //!   contexts plus the paper's discriminating context families (the
 //!   tester `T` of Lemma 5 and `C₁` of Theorem 3);
 //! * [`arbitrary`] — seeded random generation of finite processes for
-//!   the sampled experiments.
+//!   the sampled experiments;
+//! * [`checkpoint`] — serializable snapshots of in-progress builds and
+//!   refinements ([`Checkpoint`] and friends), the resumable
+//!   [`Checker::run_with_checkpoint`] pipeline, and the supervised
+//!   anytime checker [`Checker::check_supervised`].
 
 pub mod arbitrary;
 pub mod bisim;
+pub mod checkpoint;
 pub mod congruence;
 pub mod contexts;
 pub mod distinguish;
@@ -27,16 +32,18 @@ pub mod testing;
 pub mod upto;
 
 pub use bisim::{
-    all_variants, refine, refine_auto, refine_parallel, refine_worklist, strong_barbed_bisimilar,
-    strong_bisimilar, strong_step_bisimilar, weak_barbed_bisimilar, weak_bisimilar,
-    weak_step_bisimilar, Checker, PairRelation, Variant, Verdict,
+    all_variants, refine, refine_auto, refine_budgeted, refine_parallel, refine_resume,
+    refine_worklist, strong_barbed_bisimilar, strong_bisimilar, strong_step_bisimilar,
+    weak_barbed_bisimilar, weak_bisimilar, weak_step_bisimilar, Checker, PairRelation, Variant,
+    Verdict,
 };
+pub use checkpoint::{Checkpoint, GraphCheckpoint, RefineCheckpoint, SupervisedVerdict};
 pub use congruence::{
     congruent_strong, congruent_weak, sim_plus, try_congruent_strong, try_congruent_strong_threads,
     try_congruent_weak, try_congruent_weak_threads, try_sim_plus, try_weak_sim_plus, weak_sim_plus,
 };
 pub use contexts::{sampled_equivalence, sampled_equivalence_threads, StaticContext};
-pub use distinguish::{explain, try_explain, Distinction, Experiment, Side};
+pub use distinguish::{explain, explain_fixpoint, try_explain, Distinction, Experiment, Side};
 pub use graph::{identification_substs, shared_pool, Csr, Graph, Opts, PredCsr};
 pub use logic::{sat, satisfies, try_satisfies, Formula};
 pub use sensors::{sensor_context, sensors_separate, SensorBarbs};

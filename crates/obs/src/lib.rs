@@ -17,6 +17,16 @@
 //!   in-memory collectors, a process-global sink slot behind an atomic
 //!   fast flag, and span-scoped timers feeding advisory histograms.
 //!
+//! The resilience layer (PR 5) reports exclusively through **advisory**
+//! channels: `semantics.checkpoint` (snapshot/resume counters),
+//! `semantics.chaos` (injection events), `semantics.supervise`
+//! (attempts, isolated panics), plus `equiv.check` `resumed` /
+//! `supervised_verdict` and `equiv.congruence` `sweep_recovered` trace
+//! events. Deterministic counters record once, at phase completion, so
+//! an interrupted-and-resumed or chaos-disturbed run leaves the same
+//! deterministic trail as a quiet one — `checkpoint_resume.rs` pins
+//! that contract.
+//!
 //! Everything is **zero-cost when disabled**: with no sink installed and
 //! metrics off, every instrumentation site reduces to one relaxed
 //! atomic load and a branch. `BPI_TRACE=json` installs a JSON-lines

@@ -185,9 +185,42 @@ pub fn retry_with_backoff<T>(
     Err(last)
 }
 
+/// Checkpoint-aware [`retry_with_backoff`]: the closure receives the
+/// checkpoint from the previous attempt (`None` on the cold start) and
+/// returns its own checkpoint inside the typed
+/// [`Interrupted`](crate::checkpoint::Interrupted) error, so an
+/// escalated budget *resumes* instead of re-exploring from scratch.
+/// Retry policy matches [`retry_with_backoff`]: the state budget doubles
+/// on retryable errors, external stops abort immediately, and the last
+/// interruption (checkpoint included) comes back after `attempts` tries.
+pub fn retry_with_checkpoint<T, C>(
+    initial: Budget,
+    attempts: usize,
+    mut run: impl FnMut(&Budget, Option<C>) -> Result<T, crate::checkpoint::Interrupted<C>>,
+) -> Result<T, crate::checkpoint::Interrupted<C>> {
+    let mut budget = initial;
+    let mut carry: Option<crate::checkpoint::Interrupted<C>> = None;
+    for _ in 0..attempts.max(1) {
+        let resume = carry.take().map(|i| i.checkpoint);
+        if resume.is_some() {
+            crate::checkpoint::record_resume("retry_with_checkpoint");
+        }
+        match run(&budget, resume) {
+            Ok(v) => return Ok(v),
+            Err(i) if i.error.is_retryable() => {
+                budget = budget.grown(2);
+                carry = Some(i);
+            }
+            Err(i) => return Err(i),
+        }
+    }
+    Err(carry.expect("at least one attempt always runs"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::Interrupted;
 
     #[test]
     fn state_budget_trips() {
@@ -253,5 +286,65 @@ mod tests {
             })
         });
         assert_eq!(out, Err(EngineError::StateBudgetExceeded { limit: 4 }));
+    }
+
+    // Satellite: both retry paths — the checkpoint-free legacy closure
+    // (above) and the checkpoint-aware one (below) — escalate the same
+    // way, but only the latter resumes instead of re-exploring.
+
+    #[test]
+    fn retry_with_checkpoint_resumes_instead_of_restarting() {
+        let mut seen: Vec<(usize, Option<u32>)> = Vec::new();
+        let out = retry_with_checkpoint(Budget::states(8), 4, |b, resume| {
+            seen.push((b.max_states(), resume));
+            // Pretend each attempt gets halfway: progress = budget/2,
+            // carried forward as the checkpoint.
+            let progress = resume.unwrap_or(0) + (b.max_states() / 2) as u32;
+            if progress >= 20 {
+                Ok(progress)
+            } else {
+                Err(Interrupted {
+                    error: EngineError::StateBudgetExceeded {
+                        limit: b.max_states(),
+                    },
+                    checkpoint: progress,
+                })
+            }
+        });
+        // 4 + 8 + 16 = 28 ≥ 20 on the third attempt — the budget doubled
+        // each time *and* the accumulated progress was never discarded.
+        assert_eq!(out.unwrap(), 28);
+        assert_eq!(seen, vec![(8, None), (16, Some(4)), (32, Some(12))]);
+    }
+
+    #[test]
+    fn retry_with_checkpoint_aborts_on_external_stop() {
+        let mut calls = 0;
+        let out: Result<(), _> = retry_with_checkpoint(Budget::states(8), 5, |_, _| {
+            calls += 1;
+            Err(Interrupted {
+                error: EngineError::DeadlineExceeded,
+                checkpoint: 99u32,
+            })
+        });
+        let err = out.unwrap_err();
+        assert_eq!(calls, 1);
+        assert_eq!(err.error, EngineError::DeadlineExceeded);
+        assert_eq!(err.checkpoint, 99, "the checkpoint still comes back");
+    }
+
+    #[test]
+    fn retry_with_checkpoint_returns_last_checkpoint_on_exhaustion() {
+        let out: Result<(), _> = retry_with_checkpoint(Budget::states(2), 3, |b, resume| {
+            Err(Interrupted {
+                error: EngineError::StateBudgetExceeded {
+                    limit: b.max_states(),
+                },
+                checkpoint: resume.unwrap_or(0) + 1u32,
+            })
+        });
+        let err = out.unwrap_err();
+        assert_eq!(err.error, EngineError::StateBudgetExceeded { limit: 8 });
+        assert_eq!(err.checkpoint, 3, "one unit of progress per attempt");
     }
 }

@@ -80,6 +80,9 @@ fn insert_capped<K: std::hash::Hash + Eq, V>(map: &RwLock<HashMap<K, V>>, k: K, 
 /// downstream per-allocation caches (consing's pointer fast path, the
 /// normalisation memo) hit on every revisit.
 pub fn step_transitions_cached(lts: &Lts<'_>, p: &P) -> Arc<Vec<(Action, P)>> {
+    // Chaos delay site: memo caches must tolerate arbitrary scheduling
+    // between probe and fill without changing any result.
+    crate::chaos::delay("semantics.cache.step");
     let key = (bpi_core::cons(p), lts.defs.generation());
     if let Some(v) = STEP_MEMO.read().get(&key) {
         STEP_HITS.inc();
@@ -113,6 +116,7 @@ pub fn input_transitions_cached(lts: &Lts<'_>, p: &P, pool: &[Name]) -> Arc<Vec<
 /// allocations on every revisit, the consing pointer probe makes repeat
 /// normalisations of a successor O(1).
 pub fn normalize_state_cached(p: &P, protected: Option<&NameSet>) -> P {
+    crate::chaos::delay("semantics.cache.norm");
     let key = (bpi_core::cons(p), protected.cloned());
     if let Some(v) = NORM_MEMO.read().get(&key) {
         NORM_HITS.inc();

@@ -164,6 +164,11 @@ where
                         shared: &shared,
                         done: false,
                     };
+                    // Chaos site: an injected panic here unwinds through
+                    // the guard, which records WorkerPanicked — exactly
+                    // the path a real worker bug would take. Callers
+                    // with chaos active retry on the sequential path.
+                    crate::chaos::worker_tick("semantics.frontier.worker");
                     if let Err(e) = budget.check(0) {
                         // Deadline/cancellation: stop everyone.
                         shared.flag_stop(e);

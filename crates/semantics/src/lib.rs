@@ -25,31 +25,45 @@
 //!   shared by [`explore`] and `bpi-equiv`'s `Graph::build_parallel`,
 //!   with canonical breadth-first renumbering for determinism;
 //! * [`threads`] — the `BPI_THREADS` worker-count policy used by every
-//!   parallel entry point.
+//!   parallel entry point;
+//! * [`checkpoint`] — serializable snapshots of in-progress analyses
+//!   ([`ExploreCheckpoint`]) and the [`Interrupted`]-with-checkpoint
+//!   error convention, so budget exhaustion loses no work;
+//! * [`supervise`] — panic-isolating, checkpoint-resuming supervision
+//!   ([`supervise()`](supervise::supervise)) over the budgeted engines;
+//! * [`chaos`] — the seeded `BPI_CHAOS` self-fault harness injecting
+//!   panics, delays and budget pressure into engine internals.
 
 pub mod analysis;
 pub mod budget;
 pub mod cache;
+pub mod chaos;
+pub mod checkpoint;
 pub mod discard;
 pub mod explore;
 pub mod faults;
 pub mod frontier;
 pub mod lts;
 pub mod sim;
+pub mod supervise;
 pub mod threads;
 pub mod weak;
 
 pub use analysis::{analyse, Analysis};
-pub use budget::{retry_with_backoff, Budget, EngineError};
+pub use budget::{retry_with_backoff, retry_with_checkpoint, Budget, EngineError};
 pub use cache::{input_transitions_cached, normalize_state_cached, step_transitions_cached};
+pub use chaos::{ChaosEvent, ChaosLog, ChaosPlan};
+pub use checkpoint::{CheckpointCfg, CheckpointSlot, ExploreCheckpoint, Interrupted};
 pub use discard::{discards, input_arities, listening};
 pub use explore::{
     explore, explore_adaptive, explore_budgeted, explore_parallel, explore_parallel_budgeted,
-    normalize_state, output_reachable, output_reachable_budgeted, ExploreOpts, StateGraph,
+    explore_resume_from, explore_with_checkpoint, normalize_state, output_reachable,
+    output_reachable_budgeted, ExploreOpts, StateGraph,
 };
 pub use faults::{deafen, lossy_traces, noise, FaultEvent, FaultLog, FaultPlan, FaultySimulator};
 pub use frontier::{expand_frontier, renumber_bfs, Expansion, FrontierOutcome};
 pub use lts::{tuples, Lts};
 pub use sim::{Simulator, Trace};
+pub use supervise::{supervise, SuperviseError};
 pub use threads::{available_threads, default_threads, MAX_THREADS};
 pub use weak::{TauSaturation, Weak};

@@ -1,0 +1,251 @@
+//! A supervisor for the checkpoint-aware engines: panic isolation,
+//! warm restarts, anytime partial verdicts.
+//!
+//! [`supervise`] wraps the [`crate::retry_with_backoff`] escalation
+//! policy with two upgrades:
+//!
+//! 1. **panic isolation** — the supervised closure runs under
+//!    [`std::panic::catch_unwind`], so a crash anywhere inside an engine
+//!    (including a chaos-injected one) becomes a supervised restart, not
+//!    a process abort;
+//! 2. **warm restarts** — the closure receives a [`CheckpointSlot`] to
+//!    publish periodic snapshots into and an `Option<C>` to resume from;
+//!    after a typed interruption the supervisor resumes from the
+//!    checkpoint *inside* the error, and after a raw panic it falls back
+//!    to the last periodic snapshot in the slot, so escalation never
+//!    restarts cold when any checkpoint exists.
+//!
+//! While an attempt runs, chaos [`crate::chaos::pressure`] is **armed**
+//! on the calling thread: supervised runs are exactly the ones that can
+//! absorb spurious budget exhaustion (they resume), so that is where the
+//! chaos harness is allowed to inject it.
+//!
+//! When every attempt is exhausted the caller gets a
+//! [`SuperviseError`] carrying the best checkpoint seen — the anytime
+//! partial result — instead of a bare error.
+
+use crate::budget::{Budget, EngineError};
+use crate::checkpoint::{CheckpointSlot, Interrupted};
+use bpi_obs::{counter, Counter, Det, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::LazyLock;
+
+static SUP_ATTEMPTS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.supervise.attempts", Det::Advisory));
+static SUP_PANICS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.supervise.panics_isolated", Det::Advisory));
+static SUP_RESUMES: LazyLock<&Counter> =
+    LazyLock::new(|| counter("semantics.supervise.warm_resumes", Det::Advisory));
+
+/// Exhausted supervision: the last typed reason plus the best available
+/// checkpoint (the anytime partial result), and how many attempts ran.
+#[derive(Debug)]
+pub struct SuperviseError<C> {
+    /// The final stop reason. A raw panic that left no typed error
+    /// surfaces as [`EngineError::WorkerPanicked`].
+    pub error: EngineError,
+    /// The most recent checkpoint from any attempt, if one was ever
+    /// produced — resumable later with the engine's `resume_from` API.
+    pub checkpoint: Option<C>,
+    /// Attempts actually made (≥ 1).
+    pub attempts: usize,
+}
+
+impl<C> std::fmt::Display for SuperviseError<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "supervision exhausted after {} attempt(s): {}{}",
+            self.attempts,
+            self.error,
+            if self.checkpoint.is_some() {
+                " (checkpoint available)"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+impl<C: std::fmt::Debug> std::error::Error for SuperviseError<C> {}
+
+/// Runs `run` under supervision for at most `attempts` tries.
+///
+/// Each attempt receives the current [`Budget`], a [`CheckpointSlot`]
+/// for periodic snapshots, and the checkpoint to resume from (`None` on
+/// the cold first attempt). Escalation policy per failure:
+///
+/// * [`EngineError::StateBudgetExceeded`] — budget doubles, resume from
+///   the returned checkpoint;
+/// * [`EngineError::WorkerPanicked`] (typed) — same budget, resume from
+///   the returned checkpoint;
+/// * a raw panic — same budget, resume from the slot's last periodic
+///   snapshot (cold restart only if none was published);
+/// * [`EngineError::DeadlineExceeded`] / [`EngineError::Cancelled`] —
+///   external stops: give up immediately, returning the checkpoint.
+pub fn supervise<T, C>(
+    initial: Budget,
+    attempts: usize,
+    mut run: impl FnMut(&Budget, &CheckpointSlot<C>, Option<C>) -> Result<T, Interrupted<C>>,
+) -> Result<T, SuperviseError<C>> {
+    let slot: CheckpointSlot<C> = CheckpointSlot::new();
+    let mut budget = initial;
+    let mut resume: Option<C> = None;
+    let mut last_error = EngineError::StateBudgetExceeded {
+        limit: budget.max_states(),
+    };
+    let mut used = 0usize;
+    for attempt in 0..attempts.max(1) {
+        used = attempt + 1;
+        if bpi_obs::metrics_enabled() {
+            SUP_ATTEMPTS.inc();
+            if resume.is_some() {
+                SUP_RESUMES.inc();
+            }
+        }
+        let warm = resume.is_some();
+        bpi_obs::emit("semantics.supervise", "attempt", || {
+            vec![
+                ("attempt", Value::from(attempt)),
+                ("warm", Value::from(warm)),
+            ]
+        });
+        let armed = crate::chaos::arm_pressure();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(&budget, &slot, resume.take())));
+        drop(armed);
+        match outcome {
+            Ok(Ok(v)) => return Ok(v),
+            Ok(Err(Interrupted { error, checkpoint })) => match error {
+                EngineError::StateBudgetExceeded { .. } => {
+                    budget = budget.grown(2);
+                    resume = Some(checkpoint);
+                    last_error = error;
+                }
+                EngineError::WorkerPanicked => {
+                    resume = Some(checkpoint);
+                    last_error = error;
+                }
+                EngineError::DeadlineExceeded | EngineError::Cancelled => {
+                    return Err(SuperviseError {
+                        error,
+                        checkpoint: Some(checkpoint),
+                        attempts: used,
+                    });
+                }
+            },
+            Err(_payload) => {
+                // The attempt died without returning. Isolate the crash
+                // and fall back to the newest periodic snapshot.
+                if bpi_obs::metrics_enabled() {
+                    SUP_PANICS.inc();
+                }
+                bpi_obs::emit("semantics.supervise", "panic_isolated", || {
+                    vec![("attempt", Value::from(attempt))]
+                });
+                resume = slot.take();
+                last_error = EngineError::WorkerPanicked;
+            }
+        }
+    }
+    Err(SuperviseError {
+        error: last_error,
+        checkpoint: resume.or_else(|| slot.take()),
+        attempts: used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_success_passes_through() {
+        let out: Result<u32, SuperviseError<()>> =
+            supervise(Budget::states(8), 3, |_, _, _| Ok(41));
+        assert_eq!(out.unwrap(), 41);
+    }
+
+    #[test]
+    fn budget_exhaustion_resumes_with_doubled_budget() {
+        let mut seen: Vec<(usize, Option<u32>)> = Vec::new();
+        let out = supervise(Budget::states(8), 4, |b, _, resume| {
+            seen.push((b.max_states(), resume));
+            if b.max_states() >= 32 {
+                Ok("done")
+            } else {
+                Err(Interrupted {
+                    error: EngineError::StateBudgetExceeded {
+                        limit: b.max_states(),
+                    },
+                    checkpoint: b.max_states() as u32,
+                })
+            }
+        });
+        assert_eq!(out.unwrap(), "done");
+        // Cold start, then warm resumes carrying the previous checkpoint.
+        assert_eq!(seen, vec![(8, None), (16, Some(8)), (32, Some(16))]);
+    }
+
+    #[test]
+    fn raw_panic_is_isolated_and_resumes_from_the_slot() {
+        let mut attempts = 0;
+        let out = supervise(Budget::unlimited(), 3, |_, slot, resume| {
+            attempts += 1;
+            if attempts == 1 {
+                slot.publish(77u32);
+                panic!("injected crash");
+            }
+            assert_eq!(resume, Some(77), "resumed from the periodic snapshot");
+            Ok(attempts)
+        });
+        assert_eq!(out.unwrap(), 2);
+    }
+
+    #[test]
+    fn panic_without_snapshot_restarts_cold() {
+        let mut attempts = 0;
+        let out: Result<usize, SuperviseError<u32>> =
+            supervise(Budget::unlimited(), 2, |_, _, resume| {
+                attempts += 1;
+                assert_eq!(resume, None);
+                panic!("always dies");
+            });
+        let err = out.unwrap_err();
+        assert_eq!(err.error, EngineError::WorkerPanicked);
+        assert_eq!(err.attempts, 2);
+        assert!(err.checkpoint.is_none());
+    }
+
+    #[test]
+    fn external_stops_give_up_immediately_with_checkpoint() {
+        let mut attempts = 0;
+        let out: Result<(), _> = supervise(Budget::unlimited(), 5, |_, _, _| {
+            attempts += 1;
+            Err(Interrupted {
+                error: EngineError::Cancelled,
+                checkpoint: 13u32,
+            })
+        });
+        let err = out.unwrap_err();
+        assert_eq!(attempts, 1, "cancellation is not retried");
+        assert_eq!(err.error, EngineError::Cancelled);
+        assert_eq!(err.checkpoint, Some(13));
+    }
+
+    #[test]
+    fn exhaustion_surfaces_last_checkpoint() {
+        let out: Result<(), _> = supervise(Budget::states(1), 3, |b, _, _| {
+            Err(Interrupted {
+                error: EngineError::StateBudgetExceeded {
+                    limit: b.max_states(),
+                },
+                checkpoint: b.max_states() as u32,
+            })
+        });
+        let err = out.unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert_eq!(err.error, EngineError::StateBudgetExceeded { limit: 4 });
+        assert_eq!(err.checkpoint, Some(4), "anytime partial result kept");
+        assert!(err.to_string().contains("checkpoint available"));
+    }
+}

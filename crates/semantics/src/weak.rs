@@ -131,6 +131,9 @@ impl<'d> Weak<'d> {
             bpi_obs::counter("semantics.weak.saturation.misses", bpi_obs::Det::Advisory)
         });
         self.budget.check(0)?;
+        // Chaos delay site: the saturation memo is probed concurrently by
+        // refinement workers; a stall here must not change any closure.
+        crate::chaos::delay("semantics.weak.saturation");
         let key = (cons(p), self.lts.defs.generation(), kind);
         if let Some(sat) = SATURATIONS.read().get(&key) {
             HITS.inc();
