@@ -55,7 +55,7 @@ fn bench_loss_sweep(c: &mut Criterion) {
             let id = BenchmarkId::new(format!("ring{n}"), format!("loss{loss}"));
             group.bench_with_input(id, &loss, |b, &loss| {
                 b.iter(|| {
-                    let plan = FaultPlan::new(17).with_default_loss(loss);
+                    let plan = FaultPlan::new(17).with_default_loss(loss).unwrap();
                     let mut sim = FaultySimulator::new(&defs, plan);
                     let (trace, log) = sim.run_until_output(std::hint::black_box(&sys), o, 2_000);
                     // Detection within the cap is guaranteed only on the

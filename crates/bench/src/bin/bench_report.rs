@@ -1,6 +1,6 @@
 //! Pinned-size performance report — emits the machine-readable
-//! `BENCH_5.json` tracked at the repo root, and regression-gates the
-//! `BENCH_4.json` baseline.
+//! `BENCH_6.json` tracked at the repo root, and regression-gates the
+//! `BENCH_5.json` baseline.
 //!
 //! Criterion gives the full statistical story (`cargo bench`); this bin
 //! runs a small fixed set of measurements with `std::time::Instant`
@@ -22,6 +22,12 @@
 //!   serve the work the threads are supposed to do. `host_cpus` records
 //!   the machine's actual parallelism — on a single-core host the series
 //!   measures the overhead floor of the parallel paths, not speedup;
+//! * **reliability** — PR 6's B13 curves: the Monte-Carlo convergence
+//!   probability of the cycle-detection ring (signal on `o`) and the
+//!   leader election (a follower appears, the loss-sensitive barb) at
+//!   two system sizes across a loss sweep, with Wilson 95% intervals.
+//!   Fully deterministic in the pinned plan seeds, so the curves diff
+//!   across PRs like every other recorded number;
 //! * **metrics** (with `--metrics`) — the deterministic counter set of a
 //!   pinned build+refine workload, measured from a reset registry. These
 //!   values are bit-identical across engines and thread counts (the
@@ -35,7 +41,7 @@
 //!
 //! `--check` (the CI bench-smoke gate) writes nothing: it re-measures
 //! the recorded entries at the pinned sizes and **fails** if any entry's
-//! speedup regresses below 0.9× the value recorded in `BENCH_4.json`
+//! speedup regresses below 0.9× the value recorded in `BENCH_5.json`
 //! (up to three attempts per entry to ride out scheduler noise).
 //! Cold-start entries — whose recorded baseline is a single first-run
 //! sample, dominated by allocator and page-cache state — gate at 0.5×
@@ -51,7 +57,7 @@ use bpi_equiv::{
     Graph, Opts, RefineCheckpoint, Variant,
 };
 use bpi_semantics::{
-    explore, explore_parallel, Budget, CheckpointCfg, CheckpointSlot, ExploreOpts,
+    explore, explore_parallel, Budget, CheckpointCfg, CheckpointSlot, ExploreOpts, FaultPlan,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -468,13 +474,13 @@ fn gate_factor(id: &str) -> f64 {
     }
 }
 
-/// The CI regression gate: every BENCH_4 entry must still reach at
+/// The CI regression gate: every BENCH_5 entry must still reach at
 /// least its gate factor times its recorded speedup. Re-measures a
 /// failing entry up to three times before declaring a regression.
 fn run_check(sizes: &Sizes) -> bool {
-    let recorded = read_recorded_speedups("BENCH_4.json");
+    let recorded = read_recorded_speedups("BENCH_5.json");
     if recorded.is_empty() {
-        eprintln!("--check: BENCH_4.json missing or unparsable; nothing to gate");
+        eprintln!("--check: BENCH_5.json missing or unparsable; nothing to gate");
         return true;
     }
     let mut failing: Vec<String> = recorded.iter().map(|(id, _)| id.clone()).collect();
@@ -506,11 +512,90 @@ fn run_check(sizes: &Sizes) -> bool {
     }
     for id in &failing {
         eprintln!(
-            "--check: REGRESSION {id}: speedup below {}x of BENCH_4.json after 3 attempts",
+            "--check: REGRESSION {id}: speedup below {}x of BENCH_5.json after 3 attempts",
             gate_factor(id)
         );
     }
     false
+}
+
+/// One point of a B13 reliability curve.
+struct RelPoint {
+    system: &'static str,
+    size: usize,
+    loss: f64,
+    probability: f64,
+    ci: (f64, f64),
+    samples: usize,
+}
+
+/// B13: reliability curves under message loss. Two families at two
+/// sizes each, across a four-point loss sweep; every point is a seeded
+/// Monte-Carlo estimate ([`bpi_semantics::convergence_mc`] through the
+/// encodings' wrappers), bit-reproducible from the pinned plan seeds.
+///
+/// * `cycle-ring` — probability that the resilient detector signals the
+///   ring's cycle within the step horizon (pump retries push this back
+///   toward 1 even under heavy loss);
+/// * `election-follow` — probability that an election produces a
+///   *follower*, i.e. that the winning claim was actually heard; with
+///   every claim listener an independent Bernoulli ear, this decays
+///   with the loss rate and grows with the candidate count.
+fn measure_reliability() -> Vec<RelPoint> {
+    use bpi_encodings::{cycle, election};
+    const LOSSES: [f64; 4] = [0.0, 0.1, 0.3, 0.6];
+    const SAMPLES: usize = 300;
+    const STEPS: usize = 60;
+    let mut out = Vec::new();
+    for size in [2usize, 3] {
+        let ring = cycle::Graph {
+            edges: (0..size)
+                .map(|k| (format!("v{k}"), format!("v{}", (k + 1) % size)))
+                .collect(),
+        };
+        for (k, &loss) in LOSSES.iter().enumerate() {
+            let plan = FaultPlan::new(0xB13_0000 + (size as u64) * 16 + k as u64)
+                .with_default_loss(loss)
+                .expect("pinned probability");
+            let est = cycle::convergence_probability(&ring, &plan, STEPS, SAMPLES);
+            out.push(RelPoint {
+                system: "cycle-ring",
+                size,
+                loss,
+                probability: est.probability,
+                ci: est.ci,
+                samples: est.samples,
+            });
+        }
+    }
+    for size in [2usize, 3] {
+        let (sys, defs, ch) = election::election_system(size);
+        for (k, &loss) in LOSSES.iter().enumerate() {
+            let plan = FaultPlan::new(0xB13_1000 + (size as u64) * 16 + k as u64)
+                .with_default_loss(loss)
+                .expect("pinned probability");
+            let est = bpi_semantics::convergence_mc(
+                &sys,
+                &defs,
+                &plan,
+                ch.follow,
+                STEPS,
+                SAMPLES,
+                &Budget::unlimited(),
+                &CheckpointCfg::default(),
+            )
+            .expect("unbudgeted estimation cannot interrupt");
+            out.push(RelPoint {
+                system: "election-follow",
+                size,
+                loss,
+                probability: est.probability,
+                ci: est.ci,
+                samples: est.samples,
+            });
+        }
+    }
+    out
 }
 
 /// The `--metrics` workload: reset the registry, run a pinned
@@ -554,7 +639,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
 
     let sizes = Sizes {
         ladder_n: 48,
@@ -575,6 +660,7 @@ fn main() {
 
     let entries = measure_entries(&sizes, "rpt#");
     let series = measure_thread_series(&sizes, wide_n);
+    let reliability = measure_reliability();
     let metrics = with_metrics.then(|| measure_metrics(&sizes));
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -583,7 +669,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"bpi-bench-report/v1\",\n");
-    json.push_str("  \"pr\": 5,\n");
+    json.push_str("  \"pr\": 6,\n");
     json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str(&format!(
         "  \"pinned\": {{ \"tau_ladder\": {}, \"scaled_sums\": {}, \"explore_components\": {}, \"wide_par\": {wide_n}, \"term_depth\": {}, \"repeats\": {} }},\n",
@@ -619,6 +705,21 @@ fn main() {
             s.speedup_at(4),
             s.note,
             if i + 1 == series.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"reliability\": [\n");
+    for (i, r) in reliability.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"system\": \"{}\", \"size\": {}, \"loss\": {:.2}, \"probability\": {:.4}, \"ci\": [{:.4}, {:.4}], \"samples\": {} }}{}\n",
+            r.system,
+            r.size,
+            r.loss,
+            r.probability,
+            r.ci.0,
+            r.ci.1,
+            r.samples,
+            if i + 1 == reliability.len() { "" } else { "," }
         ));
     }
     match &metrics {
@@ -658,6 +759,12 @@ fn main() {
             s.id,
             pts.join("  "),
             s.speedup_at(4)
+        );
+    }
+    for r in &reliability {
+        eprintln!(
+            "{:<20} n={}  loss={:.2}  P={:.4}  ci=[{:.4}, {:.4}]",
+            r.system, r.size, r.loss, r.probability, r.ci.0, r.ci.1
         );
     }
     if let Some(m) = &metrics {

@@ -1,0 +1,301 @@
+//! Finite discrete distributions — the value type of the probabilistic
+//! layer (PR 6).
+//!
+//! A [`Dist<T>`] is a finite list of `(outcome, weight)` pairs with
+//! non-negative weights. It is deliberately *not* normalised on
+//! construction: the probabilistic simulator accumulates sub-stochastic
+//! distributions (bounded-depth enumeration prunes mass, and the pruned
+//! remainder is reported separately), so `total_mass() ≤ 1` is a state
+//! the callers care about, not an error.
+//!
+//! Serialisation follows the workspace's versioned-text-codec idiom
+//! (`bpi-dist/v1`): a header line followed by one `o\t<weight>\t<value>`
+//! record per outcome, with the value rendered through `Display` and
+//! recovered through `FromStr`. Weights use Rust's shortest-round-trip
+//! `f64` formatting, so decode∘encode is the identity bit-for-bit. The
+//! serde impls wrap the same codec via `collect_str`/`visit_str`, like
+//! every other checkpoint/record type in the workspace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A finite weighted set of outcomes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dist<T> {
+    outcomes: Vec<(T, f64)>,
+}
+
+impl<T> Default for Dist<T> {
+    fn default() -> Self {
+        Dist {
+            outcomes: Vec::new(),
+        }
+    }
+}
+
+impl<T> Dist<T> {
+    /// The empty (zero-mass) distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The point distribution assigning mass 1 to `t`.
+    pub fn unit(t: T) -> Self {
+        Dist {
+            outcomes: vec![(t, 1.0)],
+        }
+    }
+
+    /// Appends an outcome. Negative and NaN weights are a caller bug;
+    /// they are rejected loudly rather than poisoning every later sum.
+    pub fn push(&mut self, t: T, w: f64) {
+        assert!(w >= 0.0, "Dist::push: weight {w} is negative or NaN");
+        self.outcomes.push((t, w));
+    }
+
+    /// Number of recorded outcomes (not deduplicated).
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Sum of all weights; 1.0 for a proper distribution, less for a
+    /// sub-stochastic one (pruned enumeration).
+    pub fn total_mass(&self) -> f64 {
+        self.outcomes.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Iterates over `(outcome, weight)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, f64)> {
+        self.outcomes.iter().map(|(t, w)| (t, *w))
+    }
+
+    /// Rescales every weight so the total mass becomes 1. No-op on an
+    /// empty or zero-mass distribution (there is nothing to scale *to*).
+    pub fn normalize(&mut self) {
+        let m = self.total_mass();
+        if m > 0.0 {
+            for (_, w) in &mut self.outcomes {
+                *w /= m;
+            }
+        }
+    }
+
+    /// Maps outcomes, keeping weights.
+    pub fn map<U>(self, f: impl FnMut(T) -> U) -> Dist<U> {
+        let mut f = f;
+        Dist {
+            outcomes: self.outcomes.into_iter().map(|(t, w)| (f(t), w)).collect(),
+        }
+    }
+}
+
+impl<T: Ord + Clone> Dist<T> {
+    /// Collapses duplicate outcomes, summing their weights, and returns
+    /// the result keyed for comparison.
+    fn grouped(&self) -> BTreeMap<T, f64> {
+        let mut m = BTreeMap::new();
+        for (t, w) in &self.outcomes {
+            *m.entry(t.clone()).or_insert(0.0) += *w;
+        }
+        m
+    }
+
+    /// Merges duplicate outcomes in place (sums weights, sorts by
+    /// outcome). After this, `len()` counts *distinct* outcomes.
+    pub fn dedup(&mut self) {
+        self.outcomes = self.grouped().into_iter().collect();
+    }
+
+    /// Total-variation distance `½·Σ|p(x) − q(x)|` over the union of
+    /// supports — the metric the ε-equivalence layer quotes.
+    pub fn total_variation(&self, other: &Dist<T>) -> f64 {
+        let (a, b) = (self.grouped(), other.grouped());
+        let mut d = 0.0;
+        for (t, w) in &a {
+            d += (w - b.get(t).copied().unwrap_or(0.0)).abs();
+        }
+        for (t, w) in &b {
+            if !a.contains_key(t) {
+                d += w.abs();
+            }
+        }
+        d / 2.0
+    }
+}
+
+/// Typed decode failure for the `bpi-dist/v1` codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistParseError(pub String);
+
+impl fmt::Display for DistParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bpi-dist/v1: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistParseError {}
+
+const DIST_HEADER: &str = "bpi-dist/v1";
+
+impl<T: fmt::Display> fmt::Display for Dist<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{DIST_HEADER}")?;
+        for (t, w) in &self.outcomes {
+            writeln!(f, "o\t{w}\t{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: FromStr> FromStr for Dist<T>
+where
+    T::Err: fmt::Display,
+{
+    type Err = DistParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut lines = s.lines();
+        match lines.next() {
+            Some(DIST_HEADER) => {}
+            other => {
+                return Err(DistParseError(format!(
+                    "bad header {other:?}, expected {DIST_HEADER:?}"
+                )))
+            }
+        }
+        let mut outcomes = Vec::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (tag, w, t) = (parts.next(), parts.next(), parts.next());
+            let (Some("o"), Some(w), Some(t)) = (tag, w, t) else {
+                return Err(DistParseError(format!(
+                    "malformed record {}: {line:?}",
+                    i + 1
+                )));
+            };
+            let w: f64 = w
+                .parse()
+                .map_err(|e| DistParseError(format!("record {}: bad weight: {e}", i + 1)))?;
+            if w.is_nan() || w < 0.0 {
+                return Err(DistParseError(format!(
+                    "record {}: weight {w} out of range",
+                    i + 1
+                )));
+            }
+            let t = t
+                .parse()
+                .map_err(|e| DistParseError(format!("record {}: bad value: {e}", i + 1)))?;
+            outcomes.push((t, w));
+        }
+        Ok(Dist { outcomes })
+    }
+}
+
+impl<T: fmt::Display> serde::Serialize for Dist<T> {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_str(self)
+    }
+}
+
+impl<'de, T: FromStr> serde::Deserialize<'de> for Dist<T>
+where
+    T::Err: fmt::Display,
+{
+    fn deserialize<D: serde::de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<T: FromStr> serde::de::Visitor<'_> for V<T>
+        where
+            T::Err: fmt::Display,
+        {
+            type Value = Dist<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a bpi-dist/v1 text blob")
+            }
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<Dist<T>, E> {
+                v.parse().map_err(E::custom)
+            }
+        }
+        d.deserialize_str(V(std::marker::PhantomData))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_mass() {
+        let mut d = Dist::unit("a".to_string());
+        d.push("b".to_string(), 0.5);
+        assert_eq!(d.len(), 2);
+        assert!((d.total_mass() - 1.5).abs() < 1e-12);
+        d.normalize();
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedup_merges_weights() {
+        let mut d = Dist::new();
+        d.push(3u64, 0.25);
+        d.push(1u64, 0.25);
+        d.push(3u64, 0.5);
+        d.dedup();
+        assert_eq!(d.len(), 2);
+        let m: Vec<_> = d.iter().map(|(t, w)| (*t, w)).collect();
+        assert_eq!(m, vec![(1, 0.25), (3, 0.75)]);
+    }
+
+    #[test]
+    fn total_variation_examples() {
+        let mut p = Dist::new();
+        p.push(0u8, 0.5);
+        p.push(1u8, 0.5);
+        let q = Dist::unit(0u8);
+        assert!((p.total_variation(&q) - 0.5).abs() < 1e-12);
+        assert_eq!(p.total_variation(&p), 0.0);
+    }
+
+    #[test]
+    fn text_codec_round_trips_exactly() {
+        let mut d = Dist::new();
+        d.push("x".to_string(), 0.1);
+        d.push("y z".to_string(), 1.0 / 3.0);
+        let text = d.to_string();
+        let back: Dist<String> = text.parse().expect("decode");
+        assert_eq!(back, d, "decode∘encode must be the identity");
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert!("nope".parse::<Dist<String>>().is_err());
+        assert!("bpi-dist/v1\nq\t1.0\tx".parse::<Dist<String>>().is_err());
+        assert!("bpi-dist/v1\no\t-1.0\tx".parse::<Dist<String>>().is_err());
+        assert!("bpi-dist/v1\no\tNaN\tx".parse::<Dist<String>>().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        use serde::de::value::{Error as ValueError, StrDeserializer};
+        use serde::de::IntoDeserializer;
+        use serde::Deserialize;
+        // Serde serialises through `collect_str(self)`, i.e. exactly the
+        // Display text, so deserialising that text must reproduce the value.
+        let mut d = Dist::new();
+        d.push(7u64, 0.125);
+        d.push(9u64, 0.875);
+        let text = d.to_string();
+        let de: StrDeserializer<'_, ValueError> = text.as_str().into_deserializer();
+        let back = Dist::<u64>::deserialize(de).expect("deserialize");
+        assert_eq!(back, d);
+        let bad: StrDeserializer<'_, ValueError> = "junk".into_deserializer();
+        assert!(Dist::<u64>::deserialize(bad).is_err());
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`subst`] — capture-avoiding substitution and recursion unfolding;
 //! * [`canon`] — α-canonical forms and α-equivalence;
 //! * [`builder`] — ergonomic term constructors;
+//! * [`dist`] — finite weighted outcome distributions, the value type of
+//!   the probabilistic fault layer;
 //! * [`parser`] / [`pretty`] — a concrete syntax.
 //!
 //! The operational semantics lives in `bpi-semantics`, behavioural
@@ -24,6 +26,7 @@
 pub mod action;
 pub mod builder;
 pub mod canon;
+pub mod dist;
 pub mod encode;
 pub mod name;
 pub mod parser;
@@ -36,6 +39,7 @@ pub mod syntax;
 
 pub use action::Action;
 pub use canon::{alpha_eq, canon};
+pub use dist::Dist;
 pub use encode::{decode, encode};
 pub use name::{fresh_name, fresh_names, Name, NameSet};
 pub use parser::{parse_defs, parse_process, ParseError};

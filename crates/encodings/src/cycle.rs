@@ -27,7 +27,8 @@ use bpi_core::builder::*;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, Ident, P};
 use bpi_semantics::{
-    explore, ExploreOpts, FaultLog, FaultPlan, FaultySimulator, Simulator, StateGraph,
+    convergence_exact, convergence_mc, explore, Budget, CheckpointCfg, ExactOutcome, ExploreOpts,
+    FaultLog, FaultPlan, FaultySimulator, ProbError, ReliabilityEstimate, Simulator, StateGraph,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -272,6 +273,46 @@ pub fn detect_under_faults(g: &Graph, plan: &FaultPlan, steps: usize) -> (bool, 
     (trace.saw_output_on(o), log)
 }
 
+/// The probability that the resilient detector signals the cycle on `o`
+/// within `steps` scheduler steps under `plan`, estimated from
+/// `samples` seeded Monte-Carlo trajectories
+/// ([`bpi_semantics::convergence_mc`]). Deterministic in `(plan.seed,
+/// samples)`; for budgeted or resumable estimation call
+/// `convergence_mc` on [`resilient_edge_managers_system`] directly.
+pub fn convergence_probability(
+    g: &Graph,
+    plan: &FaultPlan,
+    steps: usize,
+    samples: usize,
+) -> ReliabilityEstimate {
+    let (sys, defs, o) = resilient_edge_managers_system(g);
+    convergence_mc(
+        &sys,
+        &defs,
+        plan,
+        o,
+        steps,
+        samples,
+        &Budget::unlimited(),
+        &CheckpointCfg::default(),
+    )
+    .expect("unlimited budget and inert checkpointing cannot interrupt")
+}
+
+/// Exact bounded-depth convergence interval for the resilient detector
+/// under a loss-only plan: `[p_lo, p_hi]` brackets the true probability
+/// of signalling on `o` within `depth` steps, the gap being exactly the
+/// mass still alive at the horizon ([`bpi_semantics::convergence_exact`]).
+pub fn convergence_probability_exact(
+    g: &Graph,
+    plan: &FaultPlan,
+    depth: usize,
+    budget: &Budget,
+) -> Result<ExactOutcome, ProbError> {
+    let (sys, defs, o) = resilient_edge_managers_system(g);
+    convergence_exact(&sys, &defs, plan, o, depth, budget)
+}
+
 /// Runs the detector by seeded random simulation: returns true iff some
 /// run of at most `steps` steps signals on `o` (sound for positives;
 /// probabilistic for negatives).
@@ -359,7 +400,7 @@ mod tests {
         let g = Graph::new(&[("a", "b"), ("b", "a")]);
         for &loss in &[0.0, 0.5, 0.9] {
             for seed in 0..8 {
-                let plan = FaultPlan::new(seed).with_default_loss(loss);
+                let plan = FaultPlan::new(seed).with_default_loss(loss).unwrap();
                 let (found, log) = detect_under_faults(&g, &plan, 4_000);
                 assert!(
                     found,
@@ -377,7 +418,7 @@ mod tests {
         let g = Graph::new(&[("a", "b"), ("b", "c")]);
         for &loss in &[0.0, 0.5, 0.9] {
             for seed in 0..3 {
-                let plan = FaultPlan::new(seed).with_default_loss(loss);
+                let plan = FaultPlan::new(seed).with_default_loss(loss).unwrap();
                 let (found, _) = detect_under_faults(&g, &plan, 250);
                 assert!(!found, "false positive at loss {loss} seed {seed}");
             }
@@ -390,7 +431,7 @@ mod tests {
         // even a real cycle goes unreported — the boundary case of the
         // "< 1" claim.
         let g = Graph::new(&[("a", "b"), ("b", "a")]);
-        let plan = FaultPlan::new(7).with_default_loss(1.0);
+        let plan = FaultPlan::new(7).with_default_loss(1.0).unwrap();
         let (found, log) = detect_under_faults(&g, &plan, 1_000);
         assert!(!found);
         assert!(log.losses() > 0, "losses must actually have been injected");

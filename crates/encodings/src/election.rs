@@ -23,7 +23,10 @@
 use bpi_core::builder::*;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, P};
-use bpi_semantics::{explore, output_reachable, ExploreOpts, Simulator};
+use bpi_semantics::{
+    convergence_exact, convergence_mc, explore, output_reachable, Budget, CheckpointCfg,
+    ExactOutcome, ExploreOpts, FaultPlan, ProbError, ReliabilityEstimate, Simulator,
+};
 
 /// Channel names of the protocol.
 pub struct Channels {
@@ -124,6 +127,47 @@ pub fn every_run_elects(n: usize, max_states: usize) -> bool {
     let mut ok = true;
     dfs(&g, &ch, 0, 0, &mut ok);
     ok
+}
+
+/// The probability that an `n`-candidate election announces a leader
+/// (broadcasts on `led`) within `steps` steps under `plan`, estimated
+/// from `samples` Monte-Carlo trajectories. Losing a `claim` broadcast
+/// never blocks the announcement itself — the winner proceeds to `led`
+/// regardless of who heard the claim — so this measures *convergence*
+/// of the election, while `safe`-style double-leader anomalies are what
+/// the lost deliveries feed.
+pub fn election_probability(
+    n: usize,
+    plan: &FaultPlan,
+    steps: usize,
+    samples: usize,
+) -> ReliabilityEstimate {
+    let (sys, defs, ch) = election_system(n);
+    convergence_mc(
+        &sys,
+        &defs,
+        plan,
+        ch.led,
+        steps,
+        samples,
+        &Budget::unlimited(),
+        &CheckpointCfg::default(),
+    )
+    .expect("unlimited budget and inert checkpointing cannot interrupt")
+}
+
+/// Exact bounded-depth interval for [`election_probability`] under a
+/// loss-only plan: the election system is finite and converges fast, so
+/// a small `depth` usually closes the interval completely
+/// (`truncated_mass() == 0`).
+pub fn election_probability_exact(
+    n: usize,
+    plan: &FaultPlan,
+    depth: usize,
+    budget: &Budget,
+) -> Result<ExactOutcome, ProbError> {
+    let (sys, defs, ch) = election_system(n);
+    convergence_exact(&sys, &defs, plan, ch.led, depth, budget)
 }
 
 /// A sampled run transcript: `(leader, followers)`.

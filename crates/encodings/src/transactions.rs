@@ -33,7 +33,10 @@ use crate::cycle::{edge_manager, has_cycle_dfs, Graph};
 use bpi_core::builder::*;
 use bpi_core::name::Name;
 use bpi_core::syntax::{Defs, Ident, P};
-use bpi_semantics::{FaultLog, FaultPlan, FaultySimulator, Simulator};
+use bpi_semantics::{
+    convergence_mc, Budget, CheckpointCfg, FaultLog, FaultPlan, FaultySimulator,
+    ReliabilityEstimate, Simulator,
+};
 use std::collections::HashSet;
 
 /// Read or write access.
@@ -394,6 +397,32 @@ pub fn detect_inconsistency_under_faults(
     (trace.saw_output_on(error), log)
 }
 
+/// The probability that the *resilient* detection system reaches the
+/// `error` barb on `h` within `steps` steps under `plan`, estimated
+/// from `samples` Monte-Carlo trajectories. For an inconsistent history
+/// this is the reliability of the distributed detection under message
+/// loss; for a consistent one it stays `0` at every loss rate (losing
+/// messages can hide edges, never invent them).
+pub fn detection_probability(
+    h: &History,
+    plan: &FaultPlan,
+    steps: usize,
+    samples: usize,
+) -> ReliabilityEstimate {
+    let (sys, defs, error) = detection_system_with(h, true);
+    convergence_mc(
+        &sys,
+        &defs,
+        plan,
+        error,
+        steps,
+        samples,
+        &Budget::unlimited(),
+        &CheckpointCfg::default(),
+    )
+    .expect("unlimited budget and inert checkpointing cannot interrupt")
+}
+
 /// Random workload generation for the benchmarks: `n_tx` transactions
 /// over `n_items` items across `n_parts` partitions.
 pub fn random_history(seed: u64, n_tx: usize, n_items: usize, n_parts: usize) -> History {
@@ -528,9 +557,10 @@ mod tests {
     fn cross_partition_loss(seed: u64, p: f64) -> FaultPlan {
         FaultPlan::new(seed)
             .with_channel_loss(item_chan2("x"), p)
-            .with_channel_loss(Name::intern_raw("edg"), p)
-            .with_channel_loss(tid_name("T1"), p)
-            .with_channel_loss(tid_name("T2"), p)
+            .and_then(|pl| pl.with_channel_loss(Name::intern_raw("edg"), p))
+            .and_then(|pl| pl.with_channel_loss(tid_name("T1"), p))
+            .and_then(|pl| pl.with_channel_loss(tid_name("T2"), p))
+            .expect("valid loss probability")
     }
 
     #[test]

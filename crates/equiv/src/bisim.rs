@@ -386,9 +386,9 @@ pub fn refine(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
 /// τ-closures (`⇒ —α→ ⇒`), which reach arbitrarily far, so `deps[x]` is
 /// the inverse *transitive* reachability over all edges — a sound
 /// over-approximation of "can appear in some weak match set".
-type DepSets = Vec<Vec<usize>>;
+pub(crate) type DepSets = Vec<Vec<usize>>;
 
-fn dependents(g: &Graph, weak: bool) -> DepSets {
+pub(crate) fn dependents(g: &Graph, weak: bool) -> DepSets {
     let n = g.len();
     let csr = g.csr();
     (0..n)
@@ -416,7 +416,7 @@ fn dependents(g: &Graph, weak: bool) -> DepSets {
 /// the queued bitmap costs more than it saves (the BENCH_2 `scaled-sums`
 /// family sits at ~289 pairs and regressed to 0.72× under the worklist
 /// before this cutover). The crossover is recorded in `DESIGN.md` §8.
-const NAIVE_MAX_PAIRS: usize = 1024;
+pub(crate) const NAIVE_MAX_PAIRS: usize = 1024;
 
 /// Pair-count threshold below which [`refine_auto`] stays sequential
 /// even when threads are available: spawning a crossbeam scope per round
@@ -722,6 +722,7 @@ pub fn refine_resume(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn refine_rounds(
     v: Variant,
     g1: &Graph,

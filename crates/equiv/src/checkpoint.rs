@@ -781,7 +781,7 @@ impl<'d> Checker<'d> {
                 // Drain the relay before publishing so the freshest
                 // (error) snapshot wins in the pipeline slot.
                 drop(relay);
-                Err(publish_err(cfg, i.map(&wrap)))
+                Err(publish_err(cfg, i.map(wrap)))
             }
         }
     }

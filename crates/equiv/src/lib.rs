@@ -6,6 +6,10 @@
 //!   graphs used by all checkers;
 //! * [`bisim`] — barbed (Def. 3), step (Def. 5) and labelled (Defs. 7–8)
 //!   bisimilarity, strong and weak, by greatest-fixpoint pair refinement;
+//! * [`epsilon`] — ε-approximate bisimilarity and bisimulation
+//!   distances: the quantitative relaxation of all six relations used
+//!   alongside the probabilistic fault model, with the exact engines
+//!   kept as the ε = 0 oracle;
 //! * [`congruence`] — `~₊` (Def. 11), the strong congruence `~c`
 //!   (closure under all name identifications, per Lemmas 17–18), and
 //!   their weak counterparts (Defs. 14–15);
@@ -19,12 +23,19 @@
 //!   [`Checker::run_with_checkpoint`] pipeline, and the supervised
 //!   anytime checker [`Checker::check_supervised`].
 
+// Resumable engines return `Interrupted<Checkpoint>` in their `Err`
+// variant: the snapshot rides in the error by value so interruption is
+// resumption, not an allocation dance. Clippy's Err-size heuristic
+// flags this; boxing would complicate every resume path for no gain.
+#![allow(clippy::result_large_err)]
+
 pub mod arbitrary;
 pub mod bisim;
 pub mod checkpoint;
 pub mod congruence;
 pub mod contexts;
 pub mod distinguish;
+pub mod epsilon;
 pub mod graph;
 pub mod logic;
 pub mod sensors;
@@ -44,6 +55,10 @@ pub use congruence::{
 };
 pub use contexts::{sampled_equivalence, sampled_equivalence_threads, StaticContext};
 pub use distinguish::{explain, explain_fixpoint, try_explain, Distinction, Experiment, Side};
+pub use epsilon::{
+    defect, epsilon_bisimilar, epsilon_distance, pair_defect, refine_epsilon, refine_epsilon_naive,
+    try_bisimulation_distance, try_epsilon_bisimilar,
+};
 pub use graph::{identification_substs, shared_pool, Csr, Graph, Opts, PredCsr};
 pub use logic::{sat, satisfies, try_satisfies, Formula};
 pub use sensors::{sensor_context, sensors_separate, SensorBarbs};

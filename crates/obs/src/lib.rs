@@ -42,6 +42,6 @@ pub use metrics::{
     MetricsSnapshot,
 };
 pub use trace::{
-    clear_sink, emit, install_sink, span, tracing_enabled, JsonLinesSink, MemorySink, Span,
-    TraceEvent, TraceSink, Value,
+    clear_sink, emit, install_sink, span, tracing_enabled, warn_once, JsonLinesSink, MemorySink,
+    Span, TraceEvent, TraceSink, Value,
 };

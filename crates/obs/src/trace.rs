@@ -294,6 +294,25 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// A one-line configuration warning: printed to stderr **once per
+/// distinct (target, message) per process** and mirrored as a trace
+/// event (`name = "warn"`) when a sink is installed, so misread
+/// environment knobs (`BPI_THREADS`, `BPI_CHAOS`, …) surface exactly
+/// once instead of silently falling back — or flooding a hot loop.
+/// Returns whether this call was the first occurrence (tests use the
+/// return value to probe the dedup without scraping stderr).
+pub fn warn_once(target: &'static str, message: &str) -> bool {
+    static SEEN: LazyLock<Mutex<std::collections::BTreeSet<String>>> =
+        LazyLock::new(|| Mutex::new(std::collections::BTreeSet::new()));
+    let key = format!("{target}: {message}");
+    let fresh = SEEN.lock().insert(key);
+    if fresh {
+        eprintln!("warning: {target}: {message}");
+        emit(target, "warn", || vec![("message", Value::from(message))]);
+    }
+    fresh
+}
+
 /// A span-scoped timer: on drop it records the elapsed microseconds in
 /// the advisory histogram `"<target>.<name>.us"` and, when tracing,
 /// emits a `span` event. When both metrics and tracing are off the
@@ -353,6 +372,30 @@ mod tests {
         assert_eq!(evs[0].target, "obs.test");
         assert_eq!(evs[0].name, "hello");
         assert_eq!(evs[0].field("n"), Some(&Value::U64(7)));
+    }
+
+    #[test]
+    fn warn_once_dedups_and_traces() {
+        let _g = LOCK.lock();
+        let mem = MemorySink::new();
+        install_sink(mem.clone());
+        assert!(warn_once("obs.test", "first occurrence warns"));
+        assert!(
+            !warn_once("obs.test", "first occurrence warns"),
+            "an identical message is deduplicated"
+        );
+        assert!(
+            warn_once("obs.test2", "first occurrence warns"),
+            "dedup is keyed per (target, message)"
+        );
+        clear_sink();
+        let evs = mem.take();
+        assert_eq!(evs.len(), 2, "one trace event per fresh warning");
+        assert_eq!(evs[0].name, "warn");
+        assert_eq!(
+            evs[0].field("message"),
+            Some(&Value::Str("first occurrence warns".to_string()))
+        );
     }
 
     #[test]

@@ -176,11 +176,30 @@ thread_local! {
 }
 
 /// Parses `BPI_CHAOS` into a plan: any `u64` seed activates the default
-/// plan; unset, empty or unparsable means no chaos.
+/// plan; unset or empty means no chaos. An unparsable value also means
+/// no chaos, but warns once through `bpi-obs` — a fat-fingered seed
+/// should not silently run the suite *without* the chaos it asked for.
 pub fn from_env() -> Option<ChaosPlan> {
-    let v = std::env::var("BPI_CHAOS").ok()?;
-    let v = v.trim();
-    v.parse::<u64>().ok().map(ChaosPlan::new)
+    parse_chaos_seed(std::env::var("BPI_CHAOS").ok().as_deref()).map(ChaosPlan::new)
+}
+
+/// The pure parse behind [`from_env`], split out so the parse paths are
+/// unit-testable without mutating the process environment.
+pub(crate) fn parse_chaos_seed(raw: Option<&str>) -> Option<u64> {
+    let v = raw?.trim();
+    if v.is_empty() {
+        return None;
+    }
+    match v.parse::<u64>() {
+        Ok(seed) => Some(seed),
+        Err(_) => {
+            bpi_obs::warn_once(
+                "semantics.chaos",
+                &format!("BPI_CHAOS={v:?} is not a u64 seed; chaos stays OFF"),
+            );
+            None
+        }
+    }
 }
 
 /// Installs `plan` process-globally, replacing any previous plan (from
@@ -387,6 +406,22 @@ mod tests {
 
     fn lock() -> std::sync::MutexGuard<'static, ()> {
         LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn env_seed_parse_paths() {
+        // Pure parse — no env mutation, no global chaos state touched.
+        assert_eq!(parse_chaos_seed(None), None, "unset → no chaos");
+        assert_eq!(parse_chaos_seed(Some("")), None, "empty → no chaos");
+        assert_eq!(parse_chaos_seed(Some("   ")), None);
+        assert_eq!(parse_chaos_seed(Some("20260807")), Some(20260807));
+        assert_eq!(parse_chaos_seed(Some(" 7 ")), Some(7), "trimmed");
+        for bad in ["seedy", "-1", "3.5", "0x10", "99999999999999999999999"] {
+            assert_eq!(parse_chaos_seed(Some(bad)), None, "garbage {bad:?} → off");
+        }
+        // Malformed values warn exactly once per distinct message.
+        assert!(bpi_obs::warn_once("semantics.chaos", "chaos-test-probe"));
+        assert!(!bpi_obs::warn_once("semantics.chaos", "chaos-test-probe"));
     }
 
     #[test]

@@ -186,7 +186,7 @@ impl<C> CheckpointCfg<C> {
     /// Publishes a periodic snapshot if `units` completed units call for
     /// one (and a slot is attached). `snap` runs only when needed.
     pub fn maybe_snapshot(&self, units: usize, snap: impl FnOnce() -> C) {
-        if self.every > 0 && units > 0 && units % self.every == 0 {
+        if self.every > 0 && units > 0 && units.is_multiple_of(self.every) {
             if let Some(slot) = &self.slot {
                 slot.publish(snap());
                 record_snapshot("periodic");

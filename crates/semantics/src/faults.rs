@@ -48,6 +48,8 @@ use bpi_core::syntax::{Defs, Ident, Prefix, Process, RecDef, P};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
 
 /// The paper's noise process `!a(x̃).0` at the given arity: forever
 /// receive on `a` and do nothing. Encoded with `rec`, the calculus' own
@@ -141,6 +143,10 @@ pub enum FaultEvent {
 /// Everything the fault injector did during one run, in order. Two runs
 /// under the same [`FaultPlan`] produce identical logs, so a log together
 /// with its plan is a complete replay recipe.
+///
+/// Logs serialise through the versioned `bpi-fault-log/v1` text codec
+/// (one tab-separated record per event), with serde impls wrapping the
+/// same text, so a persisted log replays bit-for-bit after a round trip.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultLog {
     pub events: Vec<FaultEvent>,
@@ -169,6 +175,150 @@ impl FaultLog {
             .iter()
             .filter(|e| matches!(e, FaultEvent::DeliveryRefused { .. }))
             .count()
+    }
+}
+
+const FAULT_LOG_HEADER: &str = "bpi-fault-log/v1";
+
+impl fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{FAULT_LOG_HEADER}")?;
+        for ev in &self.events {
+            match ev {
+                FaultEvent::MessageLost { step, chan, node } => {
+                    writeln!(f, "lost\t{step}\t{node}\t{chan}")?
+                }
+                FaultEvent::DeliveryRefused { step, chan, node } => {
+                    writeln!(f, "refused\t{step}\t{node}\t{chan}")?
+                }
+                FaultEvent::Crashed { step, node } => writeln!(f, "crashed\t{step}\t{node}")?,
+                FaultEvent::Stopped { step, node } => writeln!(f, "stopped\t{step}\t{node}")?,
+                FaultEvent::Resumed { step, node } => writeln!(f, "resumed\t{step}\t{node}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Typed decode failure for the `bpi-fault-log/v1` codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultLogParseError(pub String);
+
+impl fmt::Display for FaultLogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bpi-fault-log/v1: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultLogParseError {}
+
+impl FromStr for FaultLog {
+    type Err = FaultLogParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut lines = s.lines();
+        match lines.next() {
+            Some(FAULT_LOG_HEADER) => {}
+            other => {
+                return Err(FaultLogParseError(format!(
+                    "bad header {other:?}, expected {FAULT_LOG_HEADER:?}"
+                )))
+            }
+        }
+        let mut events = Vec::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let bad = || FaultLogParseError(format!("malformed record {}: {line:?}", i + 1));
+            let mut parts = line.split('\t');
+            let tag = parts.next().ok_or_else(bad)?;
+            let step: usize = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+            let node: usize = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+            let chan = parts.next();
+            let chan_name = || -> Result<Name, FaultLogParseError> {
+                match chan {
+                    Some(c) if !c.is_empty() => Ok(Name::intern_raw(c)),
+                    _ => Err(bad()),
+                }
+            };
+            let trailing_ok = parts.next().is_none();
+            let ev = match tag {
+                "lost" => FaultEvent::MessageLost {
+                    step,
+                    chan: chan_name()?,
+                    node,
+                },
+                "refused" => FaultEvent::DeliveryRefused {
+                    step,
+                    chan: chan_name()?,
+                    node,
+                },
+                "crashed" if chan.is_none() => FaultEvent::Crashed { step, node },
+                "stopped" if chan.is_none() => FaultEvent::Stopped { step, node },
+                "resumed" if chan.is_none() => FaultEvent::Resumed { step, node },
+                _ => return Err(bad()),
+            };
+            if !trailing_ok {
+                return Err(bad());
+            }
+            events.push(ev);
+        }
+        Ok(FaultLog { events })
+    }
+}
+
+impl serde::Serialize for FaultLog {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_str(self)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for FaultLog {
+    fn deserialize<D: serde::de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl serde::de::Visitor<'_> for V {
+            type Value = FaultLog;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a bpi-fault-log/v1 text blob")
+            }
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<FaultLog, E> {
+                v.parse().map_err(E::custom)
+            }
+        }
+        d.deserialize_str(V)
+    }
+}
+
+/// Rejected [`FaultPlan`] configuration. Probabilities outside `[0, 1]`
+/// (or NaN) used to be silently clamped; they are now surfaced at
+/// construction so a typo'd loss sweep fails loudly instead of quietly
+/// saturating at certainty.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultError {
+    /// `what` names the offending knob (`"default_loss"`,
+    /// `"channel_loss"`, `"refusal_prob"`), `value` is what the caller
+    /// passed.
+    InvalidProbability { what: &'static str, value: f64 },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidProbability { what, value } => {
+                write!(f, "{what} = {value} is not a probability in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+fn check_prob(what: &'static str, p: f64) -> Result<f64, FaultError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(FaultError::InvalidProbability { what, value: p })
     }
 }
 
@@ -209,16 +359,19 @@ impl FaultPlan {
     }
 
     /// Loss probability applied to every channel without an override.
-    pub fn with_default_loss(mut self, p: f64) -> FaultPlan {
-        self.default_loss = p.clamp(0.0, 1.0);
-        self
+    /// Rejects values outside `[0, 1]` (including NaN).
+    pub fn with_default_loss(mut self, p: f64) -> Result<FaultPlan, FaultError> {
+        self.default_loss = check_prob("default_loss", p)?;
+        Ok(self)
     }
 
-    /// Loss probability for one channel.
-    pub fn with_channel_loss(mut self, chan: Name, p: f64) -> FaultPlan {
+    /// Loss probability for one channel. Rejects values outside `[0, 1]`
+    /// (including NaN).
+    pub fn with_channel_loss(mut self, chan: Name, p: f64) -> Result<FaultPlan, FaultError> {
+        let p = check_prob("channel_loss", p)?;
         self.channel_loss.retain(|(c, _)| *c != chan);
-        self.channel_loss.push((chan, p.clamp(0.0, 1.0)));
-        self
+        self.channel_loss.push((chan, p));
+        Ok(self)
     }
 
     /// Permanently crash `node` at the start of `step`.
@@ -236,11 +389,12 @@ impl FaultPlan {
 
     /// Allows up to `max_noise` delivery refusals, each taken with
     /// probability `prob` — bounded unreliability in the sense of
-    /// axiom (H)'s noisy expansion.
-    pub fn with_refusals(mut self, prob: f64, max_noise: usize) -> FaultPlan {
-        self.refusal_prob = prob.clamp(0.0, 1.0);
+    /// axiom (H)'s noisy expansion. Rejects a `prob` outside `[0, 1]`
+    /// (including NaN).
+    pub fn with_refusals(mut self, prob: f64, max_noise: usize) -> Result<FaultPlan, FaultError> {
+        self.refusal_prob = check_prob("refusal_prob", prob)?;
         self.max_noise = max_noise;
-        self
+        Ok(self)
     }
 
     /// The seed all of the plan's randomness flows from.
@@ -248,12 +402,34 @@ impl FaultPlan {
         self.seed
     }
 
-    fn loss_rate(&self, chan: Name) -> f64 {
+    /// The same fault distribution driven by a different seed — the
+    /// Monte-Carlo sampler derives one reseeded copy per sample so every
+    /// trajectory is an independent, individually replayable run.
+    pub fn reseeded(&self, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..self.clone()
+        }
+    }
+
+    /// The effective loss probability for a broadcast on `chan`.
+    pub fn loss_rate(&self, chan: Name) -> f64 {
         self.channel_loss
             .iter()
             .find(|(c, _)| *c == chan)
             .map(|(_, p)| *p)
             .unwrap_or(self.default_loss)
+    }
+
+    /// Whether the plan's only faults are per-delivery message losses —
+    /// no crashes, stops, or refusal budget. The exact probabilistic
+    /// enumerator supports precisely this fragment (losses are the only
+    /// *memoryless* faults; refusal budgets and scheduled node faults
+    /// make the step distribution depend on history).
+    pub fn is_loss_only(&self) -> bool {
+        self.crashes.is_empty()
+            && self.stops.is_empty()
+            && (self.refusal_prob == 0.0 || self.max_noise == 0)
     }
 }
 
@@ -722,7 +898,8 @@ mod tests {
         let defs = d();
         let [a, b, c] = names(["a", "b", "c"]);
         let p = par_of([out(a, [], out_(b, [])), inp(a, [], out_(c, []))]);
-        let mut sim = FaultySimulator::new(&defs, FaultPlan::new(3).with_channel_loss(a, 1.0));
+        let plan = FaultPlan::new(3).with_channel_loss(a, 1.0).unwrap();
+        let mut sim = FaultySimulator::new(&defs, plan);
         let (tr, log) = sim.run(&p, 20);
         assert!(tr.saw_output_on(a), "the broadcast itself still fires");
         assert!(tr.saw_output_on(b), "the sender is unaffected");
@@ -747,15 +924,17 @@ mod tests {
         ]);
         let plan = FaultPlan::new(42)
             .with_default_loss(0.5)
-            .with_refusals(0.3, 2);
+            .unwrap()
+            .with_refusals(0.3, 2)
+            .unwrap();
         let (t1, l1) = FaultySimulator::new(&defs, plan.clone()).run(&p, 30);
         let (t2, l2) = FaultySimulator::new(&defs, plan).run(&p, 30);
         assert_eq!(t1.actions, t2.actions);
         assert_eq!(l1, l2);
         // And a different seed takes a different path eventually — not
         // asserted strictly, but the logs must at least be well-formed.
-        let (_, l3) =
-            FaultySimulator::new(&defs, FaultPlan::new(43).with_default_loss(0.5)).run(&p, 30);
+        let plan43 = FaultPlan::new(43).with_default_loss(0.5).unwrap();
+        let (_, l3) = FaultySimulator::new(&defs, plan43).run(&p, 30);
         assert!(l3.refusals() == 0, "no refusal budget configured");
     }
 
@@ -802,9 +981,80 @@ mod tests {
         // Two consecutive broadcasts at a certain-refusal plan with
         // budget 1: exactly one refusal, the second delivery lands.
         let p = par_of([out(a, [], out_(a, [])), noise(a, 0)]);
-        let plan = FaultPlan::new(11).with_refusals(1.0, 1);
+        let plan = FaultPlan::new(11).with_refusals(1.0, 1).unwrap();
         let (tr, log) = FaultySimulator::new(&defs, plan).run(&p, 10);
         assert_eq!(tr.count_outputs_on(a), 2);
         assert_eq!(log.refusals(), 1, "noise budget caps refusals");
+    }
+
+    #[test]
+    fn invalid_probabilities_are_rejected_typed() {
+        let a = Name::new("a");
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = FaultPlan::new(0).with_default_loss(bad).unwrap_err();
+            assert!(matches!(
+                e,
+                FaultError::InvalidProbability {
+                    what: "default_loss",
+                    ..
+                }
+            ));
+            assert!(FaultPlan::new(0).with_channel_loss(a, bad).is_err());
+            assert!(FaultPlan::new(0).with_refusals(bad, 3).is_err());
+        }
+        // The boundary values are probabilities and must pass.
+        assert!(FaultPlan::new(0).with_default_loss(0.0).is_ok());
+        assert!(FaultPlan::new(0).with_default_loss(1.0).is_ok());
+        let e = FaultPlan::new(0).with_refusals(2.0, 1).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "refusal_prob = 2 is not a probability in [0, 1]"
+        );
+    }
+
+    #[test]
+    fn fault_log_codec_round_trips() {
+        let [a, b] = names(["a", "b"]);
+        let log = FaultLog {
+            events: vec![
+                FaultEvent::MessageLost {
+                    step: 0,
+                    chan: a,
+                    node: 2,
+                },
+                FaultEvent::DeliveryRefused {
+                    step: 3,
+                    chan: b,
+                    node: 0,
+                },
+                FaultEvent::Crashed { step: 4, node: 1 },
+                FaultEvent::Stopped { step: 5, node: 2 },
+                FaultEvent::Resumed { step: 7, node: 2 },
+            ],
+        };
+        let text = log.to_string();
+        assert!(text.starts_with("bpi-fault-log/v1\n"));
+        let back: FaultLog = text.parse().expect("decode");
+        assert_eq!(back, log, "decode∘encode must be the identity");
+        assert_eq!(
+            FaultLog::default().to_string().parse::<FaultLog>(),
+            Ok(FaultLog::default())
+        );
+    }
+
+    #[test]
+    fn fault_log_codec_rejects_garbage() {
+        assert!("".parse::<FaultLog>().is_err(), "missing header");
+        assert!("bpi-fault-log/v0\n".parse::<FaultLog>().is_err());
+        for bad in [
+            "bpi-fault-log/v1\nteleported\t1\t2",
+            "bpi-fault-log/v1\nlost\t1\t2",       // missing channel
+            "bpi-fault-log/v1\nlost\t1\t2\t",     // empty channel
+            "bpi-fault-log/v1\ncrashed\t1\t2\ta", // trailing field
+            "bpi-fault-log/v1\nlost\tx\t2\ta",    // non-numeric step
+            "bpi-fault-log/v1\nlost\t1\t2\ta\textra", // too many fields
+        ] {
+            assert!(bad.parse::<FaultLog>().is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -32,7 +32,16 @@
 //! * [`supervise`] — panic-isolating, checkpoint-resuming supervision
 //!   ([`supervise()`](supervise::supervise)) over the budgeted engines;
 //! * [`chaos`] — the seeded `BPI_CHAOS` self-fault harness injecting
-//!   panics, delays and budget pressure into engine internals.
+//!   panics, delays and budget pressure into engine internals;
+//! * [`prob`] — the quantitative fault model: exact bounded-depth DTMC
+//!   enumeration and seeded, resumable Monte-Carlo estimation of
+//!   convergence probabilities under [`FaultPlan`] loss rates.
+
+// Checkpointed engines return `Interrupted<C>` in their `Err` variant:
+// the checkpoint rides in the error by value so callers can resume
+// without an extra allocation layer, which clippy's size heuristic
+// dislikes. Boxing would complicate every resume path for no gain.
+#![allow(clippy::result_large_err)]
 
 pub mod analysis;
 pub mod budget;
@@ -44,12 +53,13 @@ pub mod explore;
 pub mod faults;
 pub mod frontier;
 pub mod lts;
+pub mod prob;
 pub mod sim;
 pub mod supervise;
 pub mod threads;
 pub mod weak;
 
-pub use analysis::{analyse, Analysis};
+pub use analysis::{analyse, reliability, Analysis, Verdict};
 pub use budget::{retry_with_backoff, retry_with_checkpoint, Budget, EngineError};
 pub use cache::{input_transitions_cached, normalize_state_cached, step_transitions_cached};
 pub use chaos::{ChaosEvent, ChaosLog, ChaosPlan};
@@ -60,9 +70,15 @@ pub use explore::{
     explore_resume_from, explore_with_checkpoint, normalize_state, output_reachable,
     output_reachable_budgeted, ExploreOpts, StateGraph,
 };
-pub use faults::{deafen, lossy_traces, noise, FaultEvent, FaultLog, FaultPlan, FaultySimulator};
+pub use faults::{
+    deafen, lossy_traces, noise, FaultError, FaultEvent, FaultLog, FaultPlan, FaultySimulator,
+};
 pub use frontier::{expand_frontier, renumber_bfs, Expansion, FrontierOutcome};
 pub use lts::{tuples, Lts};
+pub use prob::{
+    convergence_exact, convergence_mc, convergence_mc_resume, sample_seed, step_distribution,
+    wilson_ci, ExactOutcome, McCheckpoint, ProbError, ReliabilityEstimate,
+};
 pub use sim::{Simulator, Trace};
 pub use supervise::{supervise, SuperviseError};
 pub use threads::{available_threads, default_threads, MAX_THREADS};

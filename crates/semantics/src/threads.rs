@@ -28,18 +28,31 @@ pub fn available_threads() -> usize {
 
 /// The worker count selected by the `BPI_THREADS` environment variable
 /// (see the module docs for the accepted forms). Reads the environment on
-/// every call — tests toggle the variable mid-process.
+/// every call — tests toggle the variable mid-process. A malformed value
+/// falls back to sequential *and* warns once through `bpi-obs`, so a
+/// typo'd `BPI_THREADS=fuor` doesn't silently discard the parallelism
+/// the user asked for.
 pub fn default_threads() -> usize {
-    match std::env::var("BPI_THREADS") {
-        Ok(v) => {
-            let v = v.trim();
-            if v == "0" || v.eq_ignore_ascii_case("auto") {
-                available_threads()
-            } else {
-                v.parse::<usize>().map_or(1, |n| n.clamp(1, MAX_THREADS))
-            }
+    parse_threads(std::env::var("BPI_THREADS").ok().as_deref())
+}
+
+/// The pure parse behind [`default_threads`], split out so the parse
+/// paths are unit-testable without mutating the process environment.
+pub(crate) fn parse_threads(raw: Option<&str>) -> usize {
+    let Some(v) = raw else { return 1 };
+    let v = v.trim();
+    if v == "0" || v.eq_ignore_ascii_case("auto") {
+        return available_threads();
+    }
+    match v.parse::<usize>() {
+        Ok(n) => n.clamp(1, MAX_THREADS),
+        Err(_) => {
+            bpi_obs::warn_once(
+                "semantics.threads",
+                &format!("BPI_THREADS={v:?} is not a thread count (integer, \"0\" or \"auto\"); running sequential"),
+            );
+            1
         }
-        Err(_) => 1,
     }
 }
 
@@ -53,5 +66,34 @@ mod tests {
         let n = default_threads();
         assert!((1..=MAX_THREADS).contains(&n));
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_forms() {
+        assert_eq!(parse_threads(None), 1, "unset means sequential");
+        assert_eq!(parse_threads(Some("4")), 4);
+        assert_eq!(parse_threads(Some("  4 ")), 4, "whitespace trimmed");
+        assert_eq!(parse_threads(Some("1")), 1);
+        assert_eq!(parse_threads(Some("100000")), MAX_THREADS, "clamped above");
+        assert_eq!(parse_threads(Some("0")), available_threads());
+        assert_eq!(parse_threads(Some("auto")), available_threads());
+        assert_eq!(parse_threads(Some("AUTO")), available_threads());
+    }
+
+    #[test]
+    fn parse_warns_and_falls_back_on_garbage() {
+        for bad in ["fuor", "-3", "3.5", "", "4x"] {
+            assert_eq!(parse_threads(Some(bad)), 1, "garbage {bad:?} → sequential");
+        }
+        // The warning is deduplicated per distinct message: a fresh
+        // message warns, repeating it does not.
+        assert!(bpi_obs::warn_once(
+            "semantics.threads",
+            "threads-test-probe"
+        ));
+        assert!(!bpi_obs::warn_once(
+            "semantics.threads",
+            "threads-test-probe"
+        ));
     }
 }

@@ -20,7 +20,7 @@ fn main() {
     // 1. A 3-cycle, detected through a medium that drops broadcasts.
     let g = Graph::new(&[("a", "b"), ("b", "c"), ("c", "a")]);
     for loss in [0.0, 0.5, 0.9] {
-        let plan = FaultPlan::new(42).with_default_loss(loss);
+        let plan = FaultPlan::new(42).with_default_loss(loss).unwrap();
         let (found, log) = detect_under_faults(&g, &plan, 4_000);
         println!(
             "loss {loss:>3}: cycle detected = {found}  ({} broadcasts dropped)",
@@ -29,7 +29,7 @@ fn main() {
     }
 
     // 2. Determinism: the same seed replays the same faults.
-    let plan = FaultPlan::new(7).with_default_loss(0.5);
+    let plan = FaultPlan::new(7).with_default_loss(0.5).unwrap();
     let (_, log1) = detect_under_faults(&g, &plan, 500);
     let (_, log2) = detect_under_faults(&g, &plan, 500);
     println!("seed 7 replays identically: {}", log1.len() == log2.len());

@@ -34,7 +34,7 @@ fn main() {
     //    per-run fault totals land in deterministic counters (the fault
     //    log replays from its seed, so its totals are result-derived).
     let g = Graph::new(&[("a", "b"), ("b", "c"), ("c", "a")]);
-    let plan = FaultPlan::new(42).with_default_loss(0.5);
+    let plan = FaultPlan::new(42).with_default_loss(0.5).unwrap();
     let (found, log) = detect_under_faults(&g, &plan, 4_000);
     println!(
         "cycle detected under 50% loss: {found} ({} broadcasts dropped)",

@@ -71,8 +71,9 @@ proptest! {
         let defs = Defs::new();
         let plan = FaultPlan::new(fault_seed)
             .with_channel_loss(a, 0.4)
-            .with_default_loss(0.1)
-            .with_refusals(0.2, 2);
+            .and_then(|p| p.with_default_loss(0.1))
+            .and_then(|p| p.with_refusals(0.2, 2))
+            .expect("valid probabilities");
         let (t1, l1) = FaultySimulator::new(&defs, plan.clone()).run(&p, 40);
         let (t2, l2) = FaultySimulator::new(&defs, plan).run(&p, 40);
         prop_assert_eq!(format!("{t1:?}"), format!("{t2:?}"), "traces diverged");

@@ -1,0 +1,118 @@
+//! Exact-vs-Monte-Carlo differential tests for the quantitative fault
+//! model (PR 6 acceptance): on the cycle-detection and leader-election
+//! encodings, at loss rates {0.0, 0.1, 0.3}, the exact bounded-depth
+//! enumeration and a ≥10k-sample Monte-Carlo estimate must agree — the
+//! Wilson 95% CI of the estimate overlaps the exact probability
+//! interval `[p_lo, p_hi]`.
+//!
+//! The two backends share nothing but the fault plan: the enumerator
+//! walks the weighted outcome tree of `step_distribution`, the sampler
+//! replays `FaultySimulator` trajectories under derived seeds. Their
+//! agreement cross-checks the DTMC structure against the simulator it
+//! models. Note the horizons need not match: `[p_lo(d), p_hi(d)]`
+//! brackets `P(hit within s)` for *every* `s ≥ d` (`p_hi` counts all
+//! mass still alive at the horizon), so the sampler may run deeper than
+//! the enumerator.
+
+use bpi::encodings::{cycle, election};
+use bpi::semantics::{
+    convergence_exact, convergence_mc, Budget, CheckpointCfg, ExactOutcome, FaultPlan,
+    ReliabilityEstimate,
+};
+
+const LOSSES: [f64; 3] = [0.0, 0.1, 0.3];
+const SAMPLES: usize = 10_000;
+
+fn assert_agreement(what: &str, loss: f64, exact: &ExactOutcome, mc: &ReliabilityEstimate) {
+    let (lo, hi) = (exact.p_lo, exact.p_hi);
+    let (ci_lo, ci_hi) = mc.ci;
+    assert!(
+        ci_lo <= hi + 1e-9 && lo <= ci_hi + 1e-9,
+        "{what} at loss {loss}: exact [{lo:.4}, {hi:.4}] disjoint from MC CI \
+         [{ci_lo:.4}, {ci_hi:.4}] (p̂ = {:.4} from {} samples)",
+        mc.probability,
+        mc.samples,
+    );
+}
+
+#[test]
+fn cycle_ring_exact_and_mc_agree() {
+    let g = cycle::Graph::new(&[("a", "b"), ("b", "a")]);
+    for (k, &loss) in LOSSES.iter().enumerate() {
+        let plan = FaultPlan::new(0xC1C0 + k as u64)
+            .with_default_loss(loss)
+            .unwrap();
+        let exact = cycle::convergence_probability_exact(&g, &plan, 6, &Budget::unlimited())
+            .expect("loss-only plan");
+        let mc = cycle::convergence_probability(&g, &plan, 40, SAMPLES);
+        eprintln!(
+            "cycle loss={loss}: exact [{:.4}, {:.4}] ({} states, {} branches)  mc p̂={:.4} ci=[{:.4}, {:.4}]",
+            exact.p_lo, exact.p_hi, exact.states, exact.branches, mc.probability, mc.ci.0, mc.ci.1
+        );
+        assert_agreement("cycle ring-2", loss, &exact, &mc);
+    }
+}
+
+#[test]
+fn election_exact_and_mc_agree() {
+    for (k, &loss) in LOSSES.iter().enumerate() {
+        let plan = FaultPlan::new(0xE1EC + k as u64)
+            .with_default_loss(loss)
+            .unwrap();
+        let exact = election::election_probability_exact(2, &plan, 8, &Budget::unlimited())
+            .expect("loss-only plan");
+        let mc = election::election_probability(2, &plan, 40, SAMPLES);
+        eprintln!(
+            "election loss={loss}: exact [{:.4}, {:.4}]  mc p̂={:.4} ci=[{:.4}, {:.4}]",
+            exact.p_lo, exact.p_hi, mc.probability, mc.ci.0, mc.ci.1
+        );
+        assert_agreement("election n=2 (led)", loss, &exact, &mc);
+        // The winner's announcement never depends on deliveries, so the
+        // election converges at every loss rate.
+        assert!(exact.p_lo > 0.99, "led is certain, got p_lo {}", exact.p_lo);
+    }
+}
+
+#[test]
+fn election_followership_tracks_the_loss_rate() {
+    // A follower exists only if the losing candidate *heard* the claim:
+    // with two candidates, P(follow) = 1 − loss exactly. This is the
+    // loss-sensitive curve of the election (the led barb above is
+    // loss-blind), and the exact interval closes completely at this
+    // depth, so the differential is sharp: the CI must contain a point
+    // interval.
+    let (sys, defs, ch) = election::election_system(2);
+    for (k, &loss) in LOSSES.iter().enumerate() {
+        let plan = FaultPlan::new(0xF0110 + k as u64)
+            .with_default_loss(loss)
+            .unwrap();
+        let exact = convergence_exact(&sys, &defs, &plan, ch.follow, 8, &Budget::unlimited())
+            .expect("loss-only plan");
+        let mc = convergence_mc(
+            &sys,
+            &defs,
+            &plan,
+            ch.follow,
+            40,
+            SAMPLES,
+            &Budget::unlimited(),
+            &CheckpointCfg::default(),
+        )
+        .expect("unbudgeted run");
+        eprintln!(
+            "follow loss={loss}: exact [{:.4}, {:.4}] truncated={:.6}  mc p̂={:.4} ci=[{:.4}, {:.4}]",
+            exact.p_lo,
+            exact.p_hi,
+            exact.truncated_mass(),
+            mc.probability,
+            mc.ci.0,
+            mc.ci.1
+        );
+        assert_agreement("election n=2 (follow)", loss, &exact, &mc);
+        assert!(
+            (exact.probability() - (1.0 - loss)).abs() < 1e-6 + exact.truncated_mass(),
+            "P(follow) should be 1 − loss, got {} at loss {loss}",
+            exact.probability()
+        );
+    }
+}
