@@ -26,10 +26,15 @@
 //!   (Jacobi / Kanellakis–Smolka-signature style: each round re-checks
 //!   the dirty pairs against an immutable snapshot, split across
 //!   crossbeam workers with per-chunk kill buffers merged
-//!   deterministically).
+//!   deterministically);
+//! * the block/splitter partition refiner of [`crate::partition`], which
+//!   abandons the pair table entirely and refines a partition of the
+//!   disjoint union of the two graphs.
 //!
-//! [`refine_auto`] picks between them by pair count and thread budget;
-//! the [`Checker`] runs that, with its thread count defaulting to the
+//! [`refine_auto`] picks between naive, partition and worklist by pair
+//! count and partition safety (never the parallel engine, which is
+//! opt-in); the `BPI_ENGINE` env var overrides the choice. The
+//! [`Checker`] runs that, with its thread count defaulting to the
 //! `BPI_THREADS` policy of [`bpi_semantics::threads`].
 
 use crate::checkpoint::RefineCheckpoint;
@@ -388,27 +393,8 @@ pub fn refine(v: Variant, g1: &Graph, g2: &Graph) -> PairRelation {
 /// over-approximation of "can appear in some weak match set".
 pub(crate) type DepSets = Vec<Vec<usize>>;
 
-pub(crate) fn dependents(g: &Graph, weak: bool) -> DepSets {
-    let n = g.len();
-    let csr = g.csr();
-    (0..n)
-        .map(|x| {
-            let mut seen = BTreeSet::from([x]);
-            if weak {
-                let mut work = vec![x];
-                while let Some(k) = work.pop() {
-                    for &(_, p) in csr.preds_of(k) {
-                        if seen.insert(p as usize) {
-                            work.push(p as usize);
-                        }
-                    }
-                }
-            } else {
-                seen.extend(csr.preds_of(x).iter().map(|&(_, p)| p as usize));
-            }
-            seen.into_iter().collect()
-        })
-        .collect()
+pub(crate) fn dependents(g: &Graph, weak: bool) -> Arc<DepSets> {
+    g.dependents(weak)
 }
 
 /// Pair-count threshold below which the indexed engines fall back to the
@@ -417,11 +403,6 @@ pub(crate) fn dependents(g: &Graph, weak: bool) -> DepSets {
 /// family sits at ~289 pairs and regressed to 0.72× under the worklist
 /// before this cutover). The crossover is recorded in `DESIGN.md` §8.
 pub(crate) const NAIVE_MAX_PAIRS: usize = 1024;
-
-/// Pair-count threshold below which [`refine_auto`] stays sequential
-/// even when threads are available: spawning a crossbeam scope per round
-/// dominates the work on small products.
-const PARALLEL_MIN_PAIRS: usize = 4096;
 
 /// Dirty-set size below which a [`refine_parallel`] round runs inline on
 /// the calling thread instead of spawning workers — late rounds usually
@@ -519,7 +500,7 @@ pub fn refine_parallel(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> Pa
         .collect();
     // Dependency sets are only needed once something dies; bisimilar
     // pairs of graphs never pay for them.
-    let mut deps: Option<(DepSets, DepSets)> = None;
+    let mut deps: Option<(Arc<DepSets>, Arc<DepSets>)> = None;
     let mut queued = vec![false; n1 * n2];
     while !dirty.is_empty() {
         rounds += 1;
@@ -637,17 +618,84 @@ fn check_round(
     Ok(kills)
 }
 
-/// Engine dispatch used by the [`Checker`]: the naive sweep below
-/// [`NAIVE_MAX_PAIRS`] pairs (via [`refine_worklist`]'s own cutover),
-/// the round-parallel engine when threads are available and the product
-/// reaches [`PARALLEL_MIN_PAIRS`], the sequential worklist otherwise.
-/// All three return the same relation, so the choice is invisible to
-/// callers.
-pub fn refine_auto(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> PairRelation {
-    if threads > 1 && g1.len() * g2.len() >= PARALLEL_MIN_PAIRS {
-        refine_parallel(v, g1, g2, threads)
+/// The engine [`refine_auto`] resolves to for one product.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Engine {
+    Naive,
+    Worklist,
+    Partition,
+}
+
+/// The pure dispatch decision, factored out so the regression tests can
+/// pin it: the naive sweep at or below [`NAIVE_MAX_PAIRS`] pairs, the
+/// partition refiner above it whenever the product is partition-safe
+/// (uniform input arities — see [`crate::partition::partition_safe`]),
+/// the pairwise worklist otherwise. Deliberately *not* a function of the
+/// thread count: the round-parallel engine never beat 1.0× at any
+/// thread count in the ≤ ~2500-pair regime the BENCH_5 thread series
+/// measured, so it is opt-in only via [`refine_parallel`].
+pub(crate) fn auto_engine(pairs: usize, partition_safe: bool) -> Engine {
+    if pairs <= NAIVE_MAX_PAIRS {
+        Engine::Naive
+    } else if partition_safe {
+        Engine::Partition
     } else {
-        refine_worklist(v, g1, g2)
+        Engine::Worklist
+    }
+}
+
+/// The `BPI_ENGINE` override, re-read on every dispatch (tests flip it
+/// mid-process): `partition`, `worklist` or `naive` force that engine;
+/// empty, unset or `auto` defer to [`auto_engine`]; anything else warns
+/// once and falls back to the automatic choice, mirroring the
+/// `BPI_THREADS` policy.
+pub(crate) fn engine_override() -> Option<Engine> {
+    let raw = std::env::var("BPI_ENGINE").ok()?;
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => None,
+        "naive" => Some(Engine::Naive),
+        "worklist" => Some(Engine::Worklist),
+        "partition" => Some(Engine::Partition),
+        other => {
+            bpi_obs::warn_once(
+                "equiv.engine",
+                &format!(
+                    "ignoring unrecognised BPI_ENGINE value {other:?} \
+                     (expected partition, worklist, naive or auto)"
+                ),
+            );
+            None
+        }
+    }
+}
+
+/// Engine dispatch used by the [`Checker`] and every relation-producing
+/// caller: the naive sweep at or below [`NAIVE_MAX_PAIRS`] pairs, the
+/// block/splitter partition refiner ([`crate::partition`]) above it, the
+/// pairwise worklist when the product mixes input arities on a channel
+/// (where no partition agrees with the pairwise relation — see
+/// `partition_safe`). All engines return the same relation, so the
+/// choice is invisible to callers; `BPI_ENGINE` overrides it.
+///
+/// The `threads` argument no longer selects an engine: dispatching the
+/// round-synchronous parallel refiner by thread count made the answer's
+/// *cost* depend on `BPI_THREADS` without ever improving it (BENCH_5
+/// `thread_series` never beat 1.0×), and pushed small products through
+/// per-round scope spawns. It is kept so the signature stays stable and
+/// the dispatch is pinned thread-independent by regression test.
+pub fn refine_auto(v: Variant, g1: &Graph, g2: &Graph, threads: usize) -> PairRelation {
+    let _ = threads;
+    let safe = crate::partition::partition_safe(g1, g2);
+    let choice = engine_override().unwrap_or_else(|| auto_engine(g1.len() * g2.len(), safe));
+    match choice {
+        Engine::Naive => refine(v, g1, g2),
+        Engine::Partition if safe => {
+            let part = crate::partition::refine_partition(v, g1, g2);
+            let pr = crate::partition::partition_to_relation(&part);
+            record_refine("partition", &pr, g1.len(), g2.len());
+            pr
+        }
+        Engine::Worklist | Engine::Partition => refine_worklist(v, g1, g2),
     }
 }
 
@@ -750,7 +798,7 @@ fn refine_rounds(
         .flat_map(|i| (0..n2 as u32).map(move |j| (i, j)))
         .filter(|&(i, j)| pr.rel[i as usize][j as usize])
         .collect();
-    let mut deps: Option<(DepSets, DepSets)> = None;
+    let mut deps: Option<(Arc<DepSets>, Arc<DepSets>)> = None;
     let mut queued = vec![false; n1 * n2];
     while !dirty.is_empty() {
         if let Err(e) = poll_round(cfg, budget) {
@@ -1294,5 +1342,49 @@ mod tests {
         let p = rec(x1, [a], out(a, [], var(x1, [a])), [a]);
         let q = rec(x2, [a], out(a, [], out(a, [], var(x2, [a]))), [a]);
         assert!(strong_bisimilar(&p, &q, &d));
+    }
+
+    #[test]
+    fn dispatch_never_picks_parallel_and_is_thread_independent() {
+        // Satellite regression for the BENCH_5 thread-series finding:
+        // the round-synchronous parallel engine never beat 1.0× in the
+        // ≤ ~2500-pair regime, so the automatic dispatch must never
+        // select it — at any pair count or thread count.
+        //
+        // Pin the pure decision table first: the 49-state tau-ladder
+        // (2401 pairs) lands on the partition refiner when safe and the
+        // pairwise worklist when not; the naive cutover is unchanged.
+        assert_eq!(auto_engine(NAIVE_MAX_PAIRS, true), Engine::Naive);
+        assert_eq!(auto_engine(NAIVE_MAX_PAIRS, false), Engine::Naive);
+        assert_eq!(auto_engine(2401, true), Engine::Partition);
+        assert_eq!(auto_engine(2401, false), Engine::Worklist);
+        assert_eq!(auto_engine(1_000_000, true), Engine::Partition);
+
+        // Then drive the tau-ladder through `refine_auto` at a high
+        // thread count and check the parallel engine's round counter
+        // never moves while the relation matches the worklist oracle.
+        let d = defs();
+        let [a] = names(["a"]);
+        let mut p = out_(a, []);
+        for _ in 0..48 {
+            p = tau(p);
+        }
+        let pool = shared_pool(&p, &p, 1);
+        let g = Graph::build(&p, &d, &pool, Opts::default()).unwrap();
+        assert!(
+            g.len() * g.len() > NAIVE_MAX_PAIRS,
+            "ladder must be above the naive cutover to exercise dispatch"
+        );
+        let want = refine_worklist_indexed(Variant::WeakBarbed, &g, &g);
+        let before = PARALLEL_ROUNDS.get();
+        for threads in [1, 8] {
+            let got = refine_auto(Variant::WeakBarbed, &g, &g, threads);
+            assert_eq!(got.rel, want.rel, "threads={threads} changed the answer");
+        }
+        assert_eq!(
+            PARALLEL_ROUNDS.get(),
+            before,
+            "auto dispatch must never reach the parallel engine"
+        );
     }
 }

@@ -362,6 +362,134 @@ impl std::str::FromStr for RefineCheckpoint {
     }
 }
 
+/// A partition-refinement run at a round boundary: the block
+/// assignment over the disjoint union of the two graphs plus the dirty
+/// worklist — linear in the state count, unlike a pair relation. The
+/// signature buckets are *not* serialized: signatures of clean states
+/// are pure functions of the block array, so
+/// [`crate::partition::refine_partition_resume`] rebuilds them and
+/// replays the remaining rounds bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionCheckpoint {
+    /// States of the first graph (union states `0..n1`).
+    pub n1: usize,
+    /// States of the second graph (union states `n1..n1 + n2`).
+    pub n2: usize,
+    /// Current block id per union state.
+    pub blocks: Vec<u32>,
+    /// Dirty states awaiting signature recomputation, in queue order.
+    pub worklist: std::collections::VecDeque<u32>,
+    /// Rounds completed when the snapshot was taken.
+    pub rounds: u64,
+    /// Splits performed when the snapshot was taken.
+    pub splits: u64,
+}
+
+impl PartitionCheckpoint {
+    pub fn to_text(&self) -> String {
+        self.to_string()
+    }
+
+    pub fn from_text(s: &str) -> Result<PartitionCheckpoint, String> {
+        s.parse()
+    }
+}
+
+/// The partition-checkpoint text format:
+///
+/// ```text
+/// bpi-partition-checkpoint/v1
+/// dims<TAB>4<TAB>5
+/// rounds<TAB>3
+/// splits<TAB>2
+/// blocks<TAB>0,1,0,2,…                      (block id per union state)
+/// worklist<TAB>3,7                          (dirty states, queue order)
+/// ```
+impl std::fmt::Display for PartitionCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "bpi-partition-checkpoint/v1")?;
+        writeln!(f, "dims\t{}\t{}", self.n1, self.n2)?;
+        writeln!(f, "rounds\t{}", self.rounds)?;
+        writeln!(f, "splits\t{}", self.splits)?;
+        writeln!(f, "blocks\t{}", join_csv(self.blocks.iter()))?;
+        writeln!(f, "worklist\t{}", join_csv(self.worklist.iter()))?;
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for PartitionCheckpoint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PartitionCheckpoint, String> {
+        fn u32s_csv(s: &str) -> Result<Vec<u32>, String> {
+            s.split(',')
+                .filter(|x| !x.is_empty())
+                .map(|x| x.parse::<u32>().map_err(|e| format!("bad id {x:?}: {e}")))
+                .collect()
+        }
+        let mut lines = s.lines();
+        if lines.next() != Some("bpi-partition-checkpoint/v1") {
+            return Err("not a bpi-partition-checkpoint/v1 document".into());
+        }
+        let (n1, n2) = {
+            let dims = lines
+                .next()
+                .and_then(|l| l.strip_prefix("dims\t"))
+                .ok_or("missing dims record")?;
+            let (a, b) = dims.split_once('\t').ok_or("bad dims record")?;
+            (
+                a.parse::<usize>().map_err(|e| format!("bad dims: {e}"))?,
+                b.parse::<usize>().map_err(|e| format!("bad dims: {e}"))?,
+            )
+        };
+        let rounds: u64 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("rounds\t"))
+            .ok_or("missing rounds record")?
+            .parse()
+            .map_err(|e| format!("bad rounds: {e}"))?;
+        let splits: u64 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("splits\t"))
+            .ok_or("missing splits record")?
+            .parse()
+            .map_err(|e| format!("bad splits: {e}"))?;
+        let blocks = u32s_csv(
+            lines
+                .next()
+                .and_then(|l| l.strip_prefix("blocks\t"))
+                .ok_or("missing blocks record")?,
+        )?;
+        if blocks.len() != n1 + n2 {
+            return Err(format!(
+                "{} block entries for {n1}+{n2} union states",
+                blocks.len()
+            ));
+        }
+        let worklist: std::collections::VecDeque<u32> = u32s_csv(
+            lines
+                .next()
+                .and_then(|l| l.strip_prefix("worklist\t"))
+                .ok_or("missing worklist record")?,
+        )?
+        .into();
+        if let Some(&bad) = worklist.iter().find(|&&u| u as usize >= n1 + n2) {
+            return Err(format!("worklist state {bad} out of range"));
+        }
+        if let Some(extra) = lines.find(|l| !l.is_empty()) {
+            return Err(format!("unrecognised record {extra:?}"));
+        }
+        Ok(PartitionCheckpoint {
+            n1,
+            n2,
+            blocks,
+            worklist,
+            rounds,
+            splits,
+        })
+    }
+}
+
 /// Where the [`Checker`] pipeline was interrupted, with the completed
 /// prefix embedded — self-contained given the same defs, options and
 /// variant.
@@ -564,6 +692,11 @@ text_serde!(
     RefineCheckpoint,
     RefineCkptVisitor,
     "a bpi-refine-checkpoint/v1 document"
+);
+text_serde!(
+    PartitionCheckpoint,
+    PartitionCkptVisitor,
+    "a bpi-partition-checkpoint/v1 document"
 );
 text_serde!(
     Checkpoint,
@@ -916,6 +1049,44 @@ mod tests {
         let back = RefineCheckpoint::from_text(&ck.to_text()).unwrap();
         assert_eq!(ck, back);
         assert_eq!(back.survivors(), 3);
+    }
+
+    #[test]
+    fn partition_checkpoint_text_roundtrip() {
+        let ck = PartitionCheckpoint {
+            n1: 3,
+            n2: 2,
+            blocks: vec![0, 1, 0, 2, 1],
+            worklist: std::collections::VecDeque::from([4, 0]),
+            rounds: 5,
+            splits: 2,
+        };
+        let back = PartitionCheckpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(ck, back);
+        // An empty worklist (quiescent snapshot) roundtrips too.
+        let quiescent = PartitionCheckpoint {
+            worklist: std::collections::VecDeque::new(),
+            ..ck
+        };
+        let back = PartitionCheckpoint::from_text(&quiescent.to_text()).unwrap();
+        assert_eq!(quiescent, back);
+    }
+
+    #[test]
+    fn partition_checkpoint_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "bpi-partition-checkpoint/v2\ndims\t1\t1",
+            "bpi-partition-checkpoint/v1\ndims\t1\t1\nrounds\t0\nsplits\t0\nblocks\t0\nworklist\t",
+            "bpi-partition-checkpoint/v1\ndims\t2\t0\nrounds\t0\nsplits\t0\nblocks\t0,0\nworklist\t7",
+            "bpi-partition-checkpoint/v1\ndims\t2\t0\nrounds\t0\nsplits\t0\nblocks\t0,x\nworklist\t",
+            "bpi-partition-checkpoint/v1\ndims\t2\t0\nrounds\t0\nsplits\t0\nblocks\t0,0\nworklist\t\njunk\trecord",
+        ] {
+            assert!(
+                PartitionCheckpoint::from_text(bad).is_err(),
+                "accepted malformed document {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! provided; the paper defers their axiomatisation to future work, and so
 //! do we.
 
-use crate::bisim::{refine_worklist, Checker, RelView, Variant};
+use crate::bisim::{refine_auto, Checker, RelView, Variant};
 use crate::graph::{identification_substs, shared_pool, Graph, Opts};
 use bpi_core::syntax::{Defs, P};
 use bpi_semantics::budget::{Budget, EngineError};
@@ -209,7 +209,7 @@ pub fn try_weak_sim_plus(p: &P, q: &P, defs: &Defs, opts: Opts) -> Result<bool, 
     let budget = Budget::unlimited();
     let g1 = Graph::build_cached(p, defs, &pool, opts, &budget)?;
     let g2 = Graph::build_cached(q, defs, &pool, opts, &budget)?;
-    let rel = refine_worklist(Variant::WeakLabelled, &g1, &g2);
+    let rel = refine_auto(Variant::WeakLabelled, &g1, &g2, 1);
     Ok(weak_plus_dir(&g1, 0, &g2, 0, RelView::new(&rel.rel, false))
         && weak_plus_dir(&g2, 0, &g1, 0, RelView::new(&rel.rel, true)))
 }

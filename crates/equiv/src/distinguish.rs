@@ -16,7 +16,7 @@
 //! residuals; recursing on the best witness yields a finite experiment,
 //! whose depth is bounded by the number of refinement rounds.
 
-use crate::bisim::{refine_worklist, Variant};
+use crate::bisim::{refine_auto, Variant};
 use crate::graph::{shared_pool, Graph, Opts};
 use bpi_core::action::Action;
 use bpi_core::name::Name;
@@ -124,7 +124,7 @@ pub fn try_explain(
     let budget = Budget::unlimited();
     let g1 = Graph::build_cached(p, defs, &pool, opts, &budget)?;
     let g2 = Graph::build_cached(q, defs, &pool, opts, &budget)?;
-    let rel = refine_worklist(v, &g1, &g2);
+    let rel = refine_auto(v, &g1, &g2, 1);
     Ok(explain_fixpoint(v, &g1, &g2, &rel.rel))
 }
 

@@ -326,10 +326,21 @@ pub fn refine_epsilon_naive(v: Variant, g1: &Graph, g2: &Graph, eps: f64) -> Pai
 /// exact predicate does). Small products cut over to the naive sweep,
 /// at the crossover the exact engines use.
 pub fn refine_epsilon(v: Variant, g1: &Graph, g2: &Graph, eps: f64) -> PairRelation {
+    let eps = clamp_eps(eps);
+    if eps == 0.0 {
+        // At ε = 0 the defect predicate degenerates to the exact
+        // direction check, so the quantitative sweep would just redo
+        // what the exact engines do pair by pair. Route through the
+        // adaptive exact dispatch instead (partition refiner above the
+        // naive cutover): the fixpoint is bit-for-bit the same and the
+        // seed-corpus oracle pins it.
+        let pr = crate::bisim::refine_auto(v, g1, g2, 1);
+        record_epsilon("exact", &pr, g1.len(), g2.len(), 0.0);
+        return pr;
+    }
     if g1.len() * g2.len() <= NAIVE_MAX_PAIRS {
         return refine_epsilon_naive(v, g1, g2, eps);
     }
-    let eps = clamp_eps(eps);
     let (n1, n2) = (g1.len(), g2.len());
     let mut pr = PairRelation {
         rel: vec![vec![true; n2]; n1],

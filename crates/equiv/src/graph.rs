@@ -383,6 +383,10 @@ struct GraphCaches {
     weak_input_labels: Keyed<Arc<BTreeSet<Action>>>,
     /// Indexed `chan_id`.
     arities_on: Keyed<Arc<BTreeSet<usize>>>,
+    /// Strong dependency sets: direct predecessors plus the diagonal.
+    deps_strong: OnceLock<Arc<Vec<Vec<usize>>>>,
+    /// Weak dependency sets: inverse transitive reachability.
+    deps_weak: OnceLock<Arc<Vec<Vec<usize>>>>,
 }
 
 impl GraphCaches {
@@ -397,6 +401,8 @@ impl GraphCaches {
             weak_discard: Keyed::new(n * chans),
             weak_input_labels: Keyed::new(n * chans),
             arities_on: Keyed::new(chans),
+            deps_strong: OnceLock::new(),
+            deps_weak: OnceLock::new(),
         }
     }
 }
@@ -1220,6 +1226,46 @@ impl Graph {
             }
             Arc::new(out)
         })
+    }
+
+    /// Dependency sets shared by the worklist refiners: `deps[x]` is the
+    /// set of states whose transfer check can reference state `x`. For
+    /// the strong variants that is the direct predecessors plus the
+    /// diagonal (input-or-discard self-moves); for the weak variants the
+    /// match sets are τ-closures, so it is the inverse *transitive*
+    /// reachability over all edges. Computed once per graph and cached —
+    /// the weak sets in particular are a whole-graph BFS per state, and
+    /// recomputing them on every refine call was the BENCH_5
+    /// `scaled-sums/weak-labelled` 0.91× regression.
+    pub(crate) fn dependents(&self, weak: bool) -> Arc<Vec<Vec<usize>>> {
+        let slot = if weak {
+            &self.caches.deps_weak
+        } else {
+            &self.caches.deps_strong
+        };
+        slot.get_or_init(|| {
+            let n = self.len();
+            let deps = (0..n)
+                .map(|x| {
+                    let mut seen = BTreeSet::from([x]);
+                    if weak {
+                        let mut work = vec![x];
+                        while let Some(k) = work.pop() {
+                            for &(_, p) in self.csr.preds_of(k) {
+                                if seen.insert(p as usize) {
+                                    work.push(p as usize);
+                                }
+                            }
+                        }
+                    } else {
+                        seen.extend(self.csr.preds_of(x).iter().map(|&(_, p)| p as usize));
+                    }
+                    seen.into_iter().collect()
+                })
+                .collect();
+            Arc::new(deps)
+        })
+        .clone()
     }
 }
 

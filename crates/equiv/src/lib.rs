@@ -10,6 +10,9 @@
 //!   distances: the quantitative relaxation of all six relations used
 //!   alongside the probabilistic fault model, with the exact engines
 //!   kept as the ε = 0 oracle;
+//! * [`partition`] — the coarsest-partition (block/splitter) refiner:
+//!   near-linear equivalence checking over the union graph for all six
+//!   variants, plus [`partition::quotient`] minimization;
 //! * [`congruence`] — `~₊` (Def. 11), the strong congruence `~c`
 //!   (closure under all name identifications, per Lemmas 17–18), and
 //!   their weak counterparts (Defs. 14–15);
@@ -38,6 +41,7 @@ pub mod distinguish;
 pub mod epsilon;
 pub mod graph;
 pub mod logic;
+pub mod partition;
 pub mod sensors;
 pub mod testing;
 pub mod upto;
@@ -48,7 +52,9 @@ pub use bisim::{
     weak_barbed_bisimilar, weak_bisimilar, weak_step_bisimilar, Checker, PairRelation, Variant,
     Verdict,
 };
-pub use checkpoint::{Checkpoint, GraphCheckpoint, RefineCheckpoint, SupervisedVerdict};
+pub use checkpoint::{
+    Checkpoint, GraphCheckpoint, PartitionCheckpoint, RefineCheckpoint, SupervisedVerdict,
+};
 pub use congruence::{
     congruent_strong, congruent_weak, sim_plus, try_congruent_strong, try_congruent_strong_threads,
     try_congruent_weak, try_congruent_weak_threads, try_sim_plus, try_weak_sim_plus, weak_sim_plus,
@@ -61,6 +67,10 @@ pub use epsilon::{
 };
 pub use graph::{identification_substs, shared_pool, Csr, Graph, Opts, PredCsr};
 pub use logic::{sat, satisfies, try_satisfies, Formula};
+pub use partition::{
+    partition_safe, partition_to_relation, quotient, refine_partition, refine_partition_budgeted,
+    refine_partition_resume, refine_partition_self, Partition,
+};
 pub use sensors::{sensor_context, sensors_separate, SensorBarbs};
 pub use testing::{may_equivalent_sampled, may_pass, trace_equivalent, traces, Test};
 pub use upto::{check_bisimulation_upto, UptoVerdict};

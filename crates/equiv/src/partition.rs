@@ -1,0 +1,888 @@
+//! Coarsest-partition refinement over the frozen CSR graphs: the
+//! block/splitter engine that replaces O(n₁·n₂) pair tables with a
+//! partition of the *disjoint union* of the two graphs.
+//!
+//! ## Algorithm
+//!
+//! Kanellakis–Smolka signature refinement with the Paige–Tarjan
+//! "process the smaller half" discipline. Every union state carries a
+//! *signature* — a canonical encoding of what the transfer property of
+//! the chosen [`Variant`] can observe about it through the current
+//! partition (barbs, plus per-label block sets of its move targets; see
+//! [`Refiner::signature`]). Start from the single-block partition and
+//! repeatedly split blocks whose members' signatures diverge, until
+//! every block is signature-homogeneous. Two invariants carry the
+//! correctness argument (DESIGN.md §12):
+//!
+//! * **Never over-splits.** If two states are bisimilar, their
+//!   signatures agree with respect to *any* partition coarser than
+//!   bisimilarity (block sets project along partition refinement), so
+//!   the refinement never separates a bisimilar pair and the split
+//!   order is irrelevant to the result.
+//! * **Stability at quiescence.** When no signature diverges inside any
+//!   block, the induced equivalence is a bisimulation for the variant —
+//!   for the weak variants this is the classic left-saturation argument
+//!   (the strong-left/weak-right fixpoint equals the fully saturated
+//!   one), with the saturated match sets (`tau_closure`, `weak_label`,
+//!   `weak_discard`) taken directly from the [`Graph`] caches the
+//!   pairwise `direction` predicate uses.
+//!
+//! Together: the final partition *is* bisimilarity on the union, and
+//! [`partition_to_relation`] restricts it to cross pairs — the same
+//! relation every pairwise engine computes.
+//!
+//! The smaller-half discipline lives in the split step: the largest
+//! signature class keeps the block id, so only the members of the
+//! smaller classes change block — and only *their* dependents (inverse
+//! edges for the strong variants, inverse reachability for the weak
+//! ones, shared with the worklist engines via the per-graph dependency
+//! cache) are re-examined. Work is proportional to what actually moved,
+//! never to the size of the block that stayed.
+//!
+//! ## The mixed-arity guard
+//!
+//! Labelled bisimilarity matches inputs by *input-or-discard*, and with
+//! mixed input arities on one channel the pairwise relation is not
+//! transitive (`a(x).0 ~ 0` and `0 ~ a(x,y).0` but `a(x).0 ≁
+//! a(x,y).0`), so **no** partition agrees with it pointwise.
+//! [`partition_safe`] detects exactly this — some channel carrying
+//! input labels of two different arities across the two graphs, or
+//! differing pools — and the adaptive dispatch falls back to the
+//! pairwise worklist there. On arity-uniform products (every generator
+//! corpus in `worklist_oracle.rs`, and any monadic system) the discard
+//! self-loop folds into the per-label signature and the partition is
+//! exact for all six variants.
+//!
+//! ## Resumability
+//!
+//! [`refine_partition_budgeted`] polls the [`Budget`], chaos pressure
+//! and the checkpoint fuel at every round boundary and returns
+//! [`Interrupted`] carrying a [`PartitionCheckpoint`] — the block
+//! assignment and the dirty-state worklist, *not* a pair relation, so
+//! the snapshot stays linear in the state count. [`refine_partition_resume`]
+//! rebuilds the signature buckets from the block array (signatures of
+//! clean states are pure functions of the partition) and continues
+//! bit-for-bit: same final partition, same round and split counts.
+
+use crate::bisim::{PairRelation, Variant};
+use crate::checkpoint::PartitionCheckpoint;
+use crate::graph::Graph;
+use bpi_core::action::Action;
+use bpi_core::name::Name;
+use bpi_obs::{counter, Counter, Det, Value};
+use bpi_semantics::budget::Budget;
+use bpi_semantics::checkpoint::{record_resume, record_snapshot, CheckpointCfg, Interrupted};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, LazyLock};
+
+// All three are result-derived and deterministic: the engine is
+// sequential with a fixed processing order, the dispatch is
+// thread-independent, and an interrupted-and-resumed run replays the
+// same rounds and splits as an uninterrupted one (counters are recorded
+// once, on completion, from totals carried through the checkpoint).
+static PARTITION_BLOCKS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.partition.blocks", Det::Deterministic));
+static PARTITION_SPLITS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.partition.splits", Det::Deterministic));
+static PARTITION_ROUNDS: LazyLock<&Counter> =
+    LazyLock::new(|| counter("equiv.partition.rounds", Det::Deterministic));
+
+fn record_partition(part: &Partition, rounds: u64, splits: u64) {
+    if !bpi_obs::metrics_enabled() && !bpi_obs::tracing_enabled() {
+        return;
+    }
+    if bpi_obs::metrics_enabled() {
+        PARTITION_BLOCKS.add(part.num_blocks as u64);
+        PARTITION_SPLITS.add(splits);
+        PARTITION_ROUNDS.add(rounds);
+    }
+    bpi_obs::emit("equiv.partition", "done", || {
+        vec![
+            ("states", Value::from(part.blocks.len())),
+            ("blocks", Value::from(part.num_blocks)),
+            ("splits", Value::from(splits as usize)),
+            ("rounds", Value::from(rounds as usize)),
+        ]
+    });
+}
+
+/// A stable partition of the disjoint union of two graphs (`g2` states
+/// are offset by `n1`; `n2 == 0` for a self-partition). Block ids are
+/// canonical: numbered by first occurrence scanning union states in
+/// order, so equal partitions have equal `blocks` arrays regardless of
+/// the refinement schedule that produced them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    pub n1: usize,
+    pub n2: usize,
+    pub blocks: Vec<u32>,
+    pub num_blocks: usize,
+}
+
+impl Partition {
+    /// Whether union states `u` and `w` landed in the same block.
+    pub fn same_block(&self, u: usize, w: usize) -> bool {
+        self.blocks[u] == self.blocks[w]
+    }
+}
+
+/// Restricts a union partition to the cross pairs: `(i, j)` related iff
+/// `g1`'s state `i` and `g2`'s state `j` share a block. On
+/// partition-safe products this is exactly the greatest fixpoint the
+/// pairwise engines compute (`partition_oracle.rs` proves it pointwise).
+pub fn partition_to_relation(part: &Partition) -> PairRelation {
+    let rel = (0..part.n1)
+        .map(|i| {
+            (0..part.n2)
+                .map(|j| part.blocks[i] == part.blocks[part.n1 + j])
+                .collect()
+        })
+        .collect();
+    PairRelation { rel }
+}
+
+/// Whether the partition refiner agrees with the pairwise engines on
+/// this product: the pools must coincide and every channel must carry
+/// input labels of at most one arity across *both* graphs. With mixed
+/// arities the input-or-discard clause makes the pairwise relation
+/// non-transitive, so no partition can reproduce it (module docs); the
+/// dispatch falls back to the worklist instead.
+pub fn partition_safe(g1: &Graph, g2: &Graph) -> bool {
+    if g1.pool != g2.pool {
+        return false;
+    }
+    let mut arity: BTreeMap<Name, usize> = BTreeMap::new();
+    for g in [g1, g2] {
+        for act in g.csr().labels() {
+            if !act.is_input() {
+                continue;
+            }
+            let a = act.subject().expect("input labels have a subject");
+            let k = act.objects().len();
+            match arity.get(&a) {
+                Some(&k0) if k0 != k => return false,
+                Some(_) => {}
+                None => {
+                    arity.insert(a, k);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// [`partition_safe`] for a single graph (self-partition / quotient).
+pub fn partition_safe_self(g: &Graph) -> bool {
+    partition_safe(g, g)
+}
+
+/// A state's signature: sorted `(component key, sorted data)` pairs.
+/// Key 0 encodes the variant's barb set (joint channel ids), key 1 the
+/// unlabelled move component (τ successors, step successors, or their
+/// closures), key `2 + l` the block set reachable under joint label
+/// `l`. Empty components are omitted — uniformly, so omission itself
+/// never distinguishes states spuriously.
+type Sig = Vec<(u32, Vec<u32>)>;
+
+const KEY_BARBS: u32 = 0;
+const KEY_MOVES: u32 = 1;
+const KEY_LABEL: u32 = 2;
+
+/// The disjoint-union view: joint label and channel interning across
+/// one or two graphs, built eagerly and deterministically (sorted
+/// tables) so signatures are comparable across the union and across
+/// interrupted/resumed runs.
+struct UnionView<'a> {
+    g1: &'a Graph,
+    g2: Option<&'a Graph>,
+    n1: usize,
+    n: usize,
+    /// Sorted joint label table.
+    labels: Vec<Action>,
+    /// Local label id → joint label id, per part.
+    lmap1: Vec<u32>,
+    lmap2: Vec<u32>,
+    /// Joint channel interning for barb components.
+    chan_ids: BTreeMap<Name, u32>,
+    /// Joint *input* label ids grouped by subject channel — the labels a
+    /// discard self-loop answers.
+    inputs_by_chan: BTreeMap<Name, Vec<u32>>,
+}
+
+impl<'a> UnionView<'a> {
+    fn new(g1: &'a Graph, g2: Option<&'a Graph>) -> UnionView<'a> {
+        let n1 = g1.len();
+        let n = n1 + g2.map_or(0, |g| g.len());
+        let parts: Vec<&Graph> = std::iter::once(g1).chain(g2).collect();
+        let mut label_set: BTreeSet<Action> = BTreeSet::new();
+        let mut names: BTreeSet<Name> = BTreeSet::new();
+        for g in &parts {
+            label_set.extend(g.csr().labels().iter().cloned());
+            for act in g.csr().labels() {
+                if let Some(a) = act.subject() {
+                    names.insert(a);
+                }
+            }
+            for ds in &g.discarding {
+                names.extend(ds.iter());
+            }
+            names.extend(g.pool.iter().copied());
+        }
+        let labels: Vec<Action> = label_set.into_iter().collect();
+        let index: BTreeMap<&Action, u32> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a, i as u32))
+            .collect();
+        let lmap = |g: &Graph| -> Vec<u32> { g.csr().labels().iter().map(|a| index[a]).collect() };
+        let lmap1 = lmap(g1);
+        let lmap2 = g2.map(lmap).unwrap_or_default();
+        let chan_ids = names
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (a, i as u32))
+            .collect();
+        let mut inputs_by_chan: BTreeMap<Name, Vec<u32>> = BTreeMap::new();
+        for (jl, act) in labels.iter().enumerate() {
+            if act.is_input() {
+                let a = act.subject().expect("input labels have a subject");
+                inputs_by_chan.entry(a).or_default().push(jl as u32);
+            }
+        }
+        UnionView {
+            g1,
+            g2,
+            n1,
+            n,
+            labels,
+            lmap1,
+            lmap2,
+            chan_ids,
+            inputs_by_chan,
+        }
+    }
+
+    /// Resolves a union state to its graph, local index and offset.
+    fn part(&self, u: usize) -> (&'a Graph, usize, usize) {
+        if u < self.n1 {
+            (self.g1, u, 0)
+        } else {
+            (
+                self.g2.expect("offset state implies a second part"),
+                u - self.n1,
+                self.n1,
+            )
+        }
+    }
+}
+
+fn push_names(
+    sig: &mut Sig,
+    key: u32,
+    names: impl Iterator<Item = Name>,
+    ids: &BTreeMap<Name, u32>,
+) {
+    let data: Vec<u32> = names.map(|a| ids[&a]).collect();
+    if !data.is_empty() {
+        sig.push((key, data));
+    }
+}
+
+fn push_blocks(sig: &mut Sig, key: u32, it: impl Iterator<Item = u32>) {
+    let set: BTreeSet<u32> = it.collect();
+    if !set.is_empty() {
+        sig.push((key, set.into_iter().collect()));
+    }
+}
+
+/// The mutable refinement state. Each block keeps its members bucketed
+/// by stored signature; a round recomputes signatures of the dirty
+/// states only (dependents of last round's moved states), rebuckets the
+/// changed ones, then splits every touched block — the largest bucket
+/// keeps the block id (ties: first in signature order), every other
+/// bucket becomes a fresh block and dirties its members' dependents.
+struct Refiner<'a> {
+    view: UnionView<'a>,
+    v: Variant,
+    blk: Vec<u32>,
+    /// Per block: members (sorted) grouped by their stored signature.
+    blocks: Vec<BTreeMap<Sig, BTreeSet<u32>>>,
+    /// Stored signature per state; `None` until first bucketed.
+    sigs: Vec<Option<Sig>>,
+    dirty: VecDeque<u32>,
+    in_dirty: Vec<bool>,
+    deps1: Arc<Vec<Vec<usize>>>,
+    deps2: Option<Arc<Vec<Vec<usize>>>>,
+    rounds: u64,
+    splits: u64,
+}
+
+impl<'a> Refiner<'a> {
+    fn new(v: Variant, g1: &'a Graph, g2: Option<&'a Graph>) -> Refiner<'a> {
+        let view = UnionView::new(g1, g2);
+        let n = view.n;
+        let weak = v.is_weak();
+        Refiner {
+            deps1: g1.dependents(weak),
+            deps2: g2.map(|g| g.dependents(weak)),
+            view,
+            v,
+            blk: vec![0; n],
+            blocks: vec![BTreeMap::new()],
+            sigs: vec![None; n],
+            dirty: (0..n as u32).collect(),
+            in_dirty: vec![true; n],
+            rounds: 0,
+            splits: 0,
+        }
+    }
+
+    /// Restores a round-boundary snapshot: the block array and dirty
+    /// queue come from the checkpoint; buckets are rebuilt by
+    /// recomputing signatures of the *clean* states (pure functions of
+    /// the partition, so identical to the values the interrupted run
+    /// stored). Dirty states stay unbucketed and re-enter through the
+    /// normal round path, exactly as they would have.
+    fn restore(
+        v: Variant,
+        g1: &'a Graph,
+        g2: Option<&'a Graph>,
+        ck: PartitionCheckpoint,
+    ) -> Refiner<'a> {
+        let mut r = Refiner::new(v, g1, g2);
+        assert_eq!(ck.blocks.len(), r.view.n, "checkpoint/graph state mismatch");
+        assert_eq!(ck.n1, r.view.n1, "checkpoint/graph split mismatch");
+        r.blk = ck.blocks;
+        let num_blocks = r.blk.iter().map(|&b| b as usize + 1).max().unwrap_or(1);
+        r.blocks = vec![BTreeMap::new(); num_blocks];
+        r.in_dirty = vec![false; r.view.n];
+        for &u in &ck.worklist {
+            r.in_dirty[u as usize] = true;
+        }
+        r.dirty = ck.worklist;
+        for u in 0..r.view.n {
+            if r.in_dirty[u] {
+                continue;
+            }
+            let s = r.signature(u as u32);
+            r.blocks[r.blk[u] as usize]
+                .entry(s.clone())
+                .or_default()
+                .insert(u as u32);
+            r.sigs[u] = Some(s);
+        }
+        r.rounds = ck.rounds;
+        r.splits = ck.splits;
+        r
+    }
+
+    fn checkpoint(&self) -> PartitionCheckpoint {
+        PartitionCheckpoint {
+            n1: self.view.n1,
+            n2: self.view.n - self.view.n1,
+            blocks: self.blk.clone(),
+            worklist: self.dirty.clone(),
+            rounds: self.rounds,
+            splits: self.splits,
+        }
+    }
+
+    /// The variant's signature of union state `u` with respect to the
+    /// current partition. Per variant this encodes exactly the
+    /// observations the pairwise `direction` predicate makes, with weak
+    /// match sets pre-saturated (left-saturation makes that equivalent):
+    ///
+    /// * `StrongBarbed` — strong barbs; τ-successor blocks.
+    /// * `WeakBarbed` — weak barbs; τ-closure blocks.
+    /// * `StrongStep` — strong barbs; step-successor blocks (τ or any
+    ///   output).
+    /// * `WeakStep` — weak step barbs; step-closure blocks.
+    /// * `StrongLabelled` — τ-successor blocks; per joint label, the
+    ///   blocks reachable under that label, with a discarded channel
+    ///   contributing `{own block}` to every input label on it (the
+    ///   discard self-loop of the input-or-discard clause).
+    /// * `WeakLabelled` — τ-closure blocks; per joint output label the
+    ///   `⇒—l→⇒` blocks; per joint input label those plus the weak
+    ///   discard continuations on its channel.
+    fn signature(&self, u: u32) -> Sig {
+        let u = u as usize;
+        let (g, i, off) = self.view.part(u);
+        let blk = &self.blk;
+        let mut sig: Sig = Vec::new();
+        match self.v {
+            Variant::StrongBarbed => {
+                push_names(
+                    &mut sig,
+                    KEY_BARBS,
+                    g.strong_barbs(i).iter(),
+                    &self.view.chan_ids,
+                );
+                push_blocks(&mut sig, KEY_MOVES, g.tau_succs(i).map(|t| blk[off + t]));
+            }
+            Variant::WeakBarbed => {
+                push_names(
+                    &mut sig,
+                    KEY_BARBS,
+                    g.weak_barbs(i).iter(),
+                    &self.view.chan_ids,
+                );
+                push_blocks(
+                    &mut sig,
+                    KEY_MOVES,
+                    g.tau_closure(i).iter().map(|&t| blk[off + t]),
+                );
+            }
+            Variant::StrongStep => {
+                push_names(
+                    &mut sig,
+                    KEY_BARBS,
+                    g.strong_barbs(i).iter(),
+                    &self.view.chan_ids,
+                );
+                push_blocks(
+                    &mut sig,
+                    KEY_MOVES,
+                    g.step_edges(i).map(|(_, t)| blk[off + t]),
+                );
+            }
+            Variant::WeakStep => {
+                push_names(
+                    &mut sig,
+                    KEY_BARBS,
+                    g.weak_step_barbs(i).iter(),
+                    &self.view.chan_ids,
+                );
+                push_blocks(
+                    &mut sig,
+                    KEY_MOVES,
+                    g.step_closure(i).iter().map(|&t| blk[off + t]),
+                );
+            }
+            Variant::StrongLabelled => {
+                let lmap = if off == 0 {
+                    &self.view.lmap1
+                } else {
+                    &self.view.lmap2
+                };
+                let mut comps: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+                for (lid, t) in g.edge_ids(i) {
+                    let key = match g.label(lid) {
+                        Action::Tau => KEY_MOVES,
+                        _ => KEY_LABEL + lmap[lid as usize],
+                    };
+                    comps.entry(key).or_default().insert(blk[off + t]);
+                }
+                // A discarded channel answers every input label on it
+                // with the discard self-loop: residual `u` itself.
+                for a in self.view.inputs_by_chan.keys() {
+                    if g.state_discards(i, *a) {
+                        for &jl in &self.view.inputs_by_chan[a] {
+                            comps.entry(KEY_LABEL + jl).or_default().insert(blk[u]);
+                        }
+                    }
+                }
+                sig.extend(
+                    comps
+                        .into_iter()
+                        .map(|(k, s)| (k, s.into_iter().collect::<Vec<u32>>())),
+                );
+            }
+            Variant::WeakLabelled => {
+                push_blocks(
+                    &mut sig,
+                    KEY_MOVES,
+                    g.tau_closure(i).iter().map(|&t| blk[off + t]),
+                );
+                for (jl, act) in self.view.labels.iter().enumerate() {
+                    if matches!(act, Action::Tau) {
+                        continue;
+                    }
+                    let mut set: BTreeSet<u32> =
+                        g.weak_label(i, act).iter().map(|&t| blk[off + t]).collect();
+                    if act.is_input() {
+                        let a = act.subject().expect("input labels have a subject");
+                        set.extend(g.weak_discard(i, a).iter().map(|&t| blk[off + t]));
+                    }
+                    if !set.is_empty() {
+                        sig.push((KEY_LABEL + jl as u32, set.into_iter().collect()));
+                    }
+                }
+            }
+        }
+        sig
+    }
+
+    /// One refinement round: recompute the dirty signatures, rebucket
+    /// the changed states, split every touched block.
+    fn round(&mut self) {
+        let mut affected: BTreeSet<u32> = BTreeSet::new();
+        while let Some(u) = self.dirty.pop_front() {
+            self.in_dirty[u as usize] = false;
+            let s = self.signature(u);
+            if self.sigs[u as usize].as_ref() == Some(&s) {
+                continue;
+            }
+            let b = self.blk[u as usize] as usize;
+            if let Some(old) = self.sigs[u as usize].take() {
+                if let Some(members) = self.blocks[b].get_mut(&old) {
+                    members.remove(&u);
+                    if members.is_empty() {
+                        self.blocks[b].remove(&old);
+                    }
+                }
+            }
+            self.blocks[b].entry(s.clone()).or_default().insert(u);
+            self.sigs[u as usize] = Some(s);
+            affected.insert(b as u32);
+        }
+        for b in affected {
+            self.split(b as usize);
+        }
+        self.rounds += 1;
+    }
+
+    /// Splits block `b` if its members' signatures diverged: the
+    /// largest bucket keeps the id (ties broken toward the first in
+    /// signature order — fully deterministic), every other bucket
+    /// becomes a fresh block, and only the moved states' dependents are
+    /// re-enqueued: the smaller-half discipline.
+    fn split(&mut self, b: usize) {
+        if self.blocks[b].len() <= 1 {
+            return;
+        }
+        let keeper: Sig = {
+            let mut best: Option<(&Sig, usize)> = None;
+            for (sig, members) in &self.blocks[b] {
+                if best.is_none_or(|(_, sz)| members.len() > sz) {
+                    best = Some((sig, members.len()));
+                }
+            }
+            best.expect("split of a non-empty block").0.clone()
+        };
+        let buckets = std::mem::take(&mut self.blocks[b]);
+        let mut moved: Vec<u32> = Vec::new();
+        for (sig, members) in buckets {
+            if sig == keeper {
+                self.blocks[b].insert(sig, members);
+            } else {
+                let nb = self.blocks.len() as u32;
+                for &m in &members {
+                    self.blk[m as usize] = nb;
+                    moved.push(m);
+                }
+                self.blocks.push(BTreeMap::from([(sig, members)]));
+                self.splits += 1;
+            }
+        }
+        for m in moved {
+            self.mark_deps(m);
+        }
+    }
+
+    /// Re-enqueues every state whose signature can reference `m`'s
+    /// block: `m`'s dependents in its own graph (predecessors for the
+    /// strong variants, inverse reachability for the weak ones, plus
+    /// the diagonal — `m` itself, whose discard components name its own
+    /// block).
+    fn mark_deps(&mut self, m: u32) {
+        let m = m as usize;
+        let (deps, off, local) = if m < self.view.n1 {
+            (&self.deps1, 0, m)
+        } else {
+            (
+                self.deps2
+                    .as_ref()
+                    .expect("offset state implies a second part"),
+                self.view.n1,
+                m - self.view.n1,
+            )
+        };
+        for &d in &deps[local] {
+            let du = d + off;
+            if !self.in_dirty[du] {
+                self.in_dirty[du] = true;
+                self.dirty.push_back(du as u32);
+            }
+        }
+    }
+
+    /// Runs rounds to quiescence under the budget/fuel polls.
+    fn run(
+        &mut self,
+        budget: &Budget,
+        cfg: &CheckpointCfg<PartitionCheckpoint>,
+    ) -> Result<(), Interrupted<PartitionCheckpoint>> {
+        while !self.dirty.is_empty() {
+            if let Err(e) = poll(cfg, budget) {
+                record_snapshot("interrupt");
+                return Err(Interrupted {
+                    error: e,
+                    checkpoint: self.checkpoint(),
+                });
+            }
+            self.round();
+            cfg.maybe_snapshot(self.rounds as usize, || self.checkpoint());
+        }
+        Ok(())
+    }
+
+    /// Canonicalizes block numbering by first occurrence and records
+    /// the deterministic counters.
+    fn finish(&self) -> Partition {
+        let n = self.view.n;
+        let mut renumber: Vec<u32> = vec![u32::MAX; self.blocks.len()];
+        let mut blocks = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for u in 0..n {
+            let b = self.blk[u] as usize;
+            if renumber[b] == u32::MAX {
+                renumber[b] = next;
+                next += 1;
+            }
+            blocks.push(renumber[b]);
+        }
+        let part = Partition {
+            n1: self.view.n1,
+            n2: self.view.n - self.view.n1,
+            blocks,
+            num_blocks: next as usize,
+        };
+        record_partition(&part, self.rounds, self.splits);
+        part
+    }
+}
+
+/// Round-boundary interruption poll: chaos pressure (armed supervisors
+/// only), the budget's deadline/cancellation, then the fuel countdown —
+/// the same order as the budgeted pairwise engine.
+fn poll(
+    cfg: &CheckpointCfg<PartitionCheckpoint>,
+    budget: &Budget,
+) -> Result<(), bpi_semantics::budget::EngineError> {
+    bpi_semantics::chaos::pressure("equiv.partition.pressure")?;
+    budget.check(0)?;
+    cfg.burn_fuel()
+}
+
+/// The coarsest `v`-stable partition of the disjoint union of `g1` and
+/// `g2`. Callers wanting the pairwise relation go through
+/// [`partition_to_relation`] (or just [`crate::bisim::refine_auto`],
+/// which dispatches here on partition-safe products).
+pub fn refine_partition(v: Variant, g1: &Graph, g2: &Graph) -> Partition {
+    let budget = Budget::unlimited();
+    let cfg = CheckpointCfg::default();
+    let mut r = Refiner::new(v, g1, Some(g2));
+    r.run(&budget, &cfg)
+        .expect("inert config and unlimited budget cannot interrupt");
+    r.finish()
+}
+
+/// The coarsest `v`-stable self-partition of one graph — the input to
+/// [`quotient`].
+pub fn refine_partition_self(v: Variant, g: &Graph) -> Partition {
+    let budget = Budget::unlimited();
+    let cfg = CheckpointCfg::default();
+    let mut r = Refiner::new(v, g, None);
+    r.run(&budget, &cfg)
+        .expect("inert config and unlimited budget cannot interrupt");
+    r.finish()
+}
+
+/// [`refine_partition`] under a [`Budget`] and a [`CheckpointCfg`]:
+/// identical result, but any interruption — deadline, cancellation,
+/// chaos pressure, fuel exhaustion — returns [`Interrupted`] carrying a
+/// [`PartitionCheckpoint`] taken at a round boundary.
+pub fn refine_partition_budgeted(
+    v: Variant,
+    g1: &Graph,
+    g2: &Graph,
+    budget: &Budget,
+    cfg: &CheckpointCfg<PartitionCheckpoint>,
+) -> Result<Partition, Interrupted<PartitionCheckpoint>> {
+    let mut r = Refiner::new(v, g1, Some(g2));
+    r.run(budget, cfg)?;
+    Ok(r.finish())
+}
+
+/// Continues [`refine_partition_budgeted`] from a snapshot. The final
+/// partition, round count and split count are bit-for-bit identical to
+/// an uninterrupted run (`partition_oracle.rs` interrupts at every fuel
+/// boundary and checks exactly that).
+pub fn refine_partition_resume(
+    v: Variant,
+    g1: &Graph,
+    g2: &Graph,
+    budget: &Budget,
+    cfg: &CheckpointCfg<PartitionCheckpoint>,
+    ckpt: PartitionCheckpoint,
+) -> Result<Partition, Interrupted<PartitionCheckpoint>> {
+    record_resume("partition");
+    let mut r = Refiner::restore(v, g1, Some(g2), ckpt);
+    r.run(budget, cfg)?;
+    Ok(r.finish())
+}
+
+/// Minimization: collapses each block of the `v`-self-partition to one
+/// CSR state (the least member represents its block; the root's block
+/// stays state 0). Edges are re-targeted through the block map and
+/// deduplicated. The result is `v`-bisimilar to `g` with
+/// `partition.num_blocks` states — the minimize-then-compose building
+/// block.
+///
+/// On a graph that is not partition-safe (mixed input arities, where
+/// the pairwise relation is not even transitive) no quotient is
+/// meaningful, so the graph is rebuilt unchanged under the identity
+/// partition.
+pub fn quotient(v: Variant, g: &Graph) -> Graph {
+    let part = if partition_safe_self(g) {
+        refine_partition_self(v, g)
+    } else {
+        Partition {
+            n1: g.len(),
+            n2: 0,
+            blocks: (0..g.len() as u32).collect(),
+            num_blocks: g.len(),
+        }
+    };
+    let mut reps: Vec<usize> = vec![usize::MAX; part.num_blocks];
+    for u in 0..g.len() {
+        let b = part.blocks[u] as usize;
+        if reps[b] == usize::MAX {
+            reps[b] = u;
+        }
+    }
+    let states = reps.iter().map(|&r| g.states[r].clone()).collect();
+    let edges = reps
+        .iter()
+        .map(|&r| {
+            let mut seen: BTreeSet<(Action, usize)> = BTreeSet::new();
+            let mut es: Vec<(Action, usize)> = Vec::new();
+            for (act, t) in &g.edges[r] {
+                let nt = part.blocks[*t] as usize;
+                if seen.insert((act.clone(), nt)) {
+                    es.push((act.clone(), nt));
+                }
+            }
+            es
+        })
+        .collect();
+    let discarding = reps.iter().map(|&r| g.discarding[r].clone()).collect();
+    Graph::from_parts_record(states, edges, discarding, g.pool.clone(), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisim::refine;
+    use crate::graph::{shared_pool, Opts};
+    use bpi_core::builder::{inp, names, nil, out, par, sum, tau};
+    use bpi_core::syntax::{Defs, P};
+
+    const ALL: [Variant; 6] = [
+        Variant::StrongBarbed,
+        Variant::WeakBarbed,
+        Variant::StrongStep,
+        Variant::WeakStep,
+        Variant::StrongLabelled,
+        Variant::WeakLabelled,
+    ];
+
+    fn build_pair(p: &P, q: &P) -> (Graph, Graph) {
+        let defs = Defs::new();
+        let opts = Opts::default();
+        let pool = shared_pool(p, q, opts.fresh_inputs);
+        let g1 = Graph::build(p, &defs, &pool, opts).expect("finite test term");
+        let g2 = Graph::build(q, &defs, &pool, opts).expect("finite test term");
+        (g1, g2)
+    }
+
+    fn assert_matches_pairwise(p: &P, q: &P) {
+        let (g1, g2) = build_pair(p, q);
+        assert!(partition_safe(&g1, &g2), "corpus term must be safe");
+        for v in ALL {
+            let part = refine_partition(v, &g1, &g2);
+            let got = partition_to_relation(&part);
+            let want = refine(v, &g1, &g2);
+            assert_eq!(got.rel, want.rel, "{v:?} diverged on {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn partition_matches_pairwise_on_paper_witnesses() {
+        let [a, b] = names(["a", "b"]);
+        let cases: Vec<(P, P)> = vec![
+            (tau(nil()), nil()),
+            (out(a, [b], nil()), out(a, [b], nil())),
+            (
+                sum(out(a, [b], nil()), tau(nil())),
+                tau(sum(out(a, [b], nil()), tau(nil()))),
+            ),
+            (
+                par(inp(a, [b], nil()), out(a, [b], nil())),
+                par(out(a, [b], nil()), inp(a, [b], nil())),
+            ),
+            (inp(a, [b], out(b, [a], nil())), nil()),
+        ];
+        for (p, q) in &cases {
+            assert_matches_pairwise(p, q);
+            assert_matches_pairwise(q, p);
+            assert_matches_pairwise(p, p);
+        }
+    }
+
+    #[test]
+    fn mixed_input_arities_are_flagged_unsafe() {
+        let [a, b] = names(["a", "b"]);
+        let p = inp(a, [b], nil());
+        let q = inp(a, [b, b], nil());
+        let (g1, g2) = build_pair(&p, &q);
+        assert!(!partition_safe(&g1, &g2));
+        // Uniform arities stay safe.
+        let (h1, h2) = build_pair(&p, &p);
+        assert!(partition_safe(&h1, &h2));
+    }
+
+    #[test]
+    fn quotient_collapses_bisimilar_states_and_stays_bisimilar() {
+        let [a, b] = names(["a", "b"]);
+        // `a<b>` and `a<b> + a<b>` are strongly bisimilar but
+        // syntactically distinct, so the builder keeps them as separate
+        // states and the quotient must merge them. (Syntactically equal
+        // subterms are already shared by the builder.)
+        let p = sum(
+            tau(out(a, [b], nil())),
+            tau(sum(out(a, [b], nil()), out(a, [b], nil()))),
+        );
+        let defs = Defs::new();
+        let opts = Opts::default();
+        let pool = shared_pool(&p, &p, opts.fresh_inputs);
+        let g = Graph::build(&p, &defs, &pool, opts).expect("finite test term");
+        let q = quotient(Variant::StrongLabelled, &g);
+        assert!(q.len() < g.len(), "duplicate τ-branches must collapse");
+        for v in ALL {
+            let rel = refine(v, &g, &q);
+            assert!(rel.holds(0, 0), "{v:?}: quotient not bisimilar to original");
+        }
+        // The quotient is already minimal: quotienting again is a no-op.
+        let q2 = quotient(Variant::StrongLabelled, &q);
+        assert_eq!(q2.len(), q.len());
+    }
+
+    #[test]
+    fn self_partition_numbering_is_canonical() {
+        let [a] = names(["a"]);
+        let p = tau(tau(out(a, [a], nil())));
+        let defs = Defs::new();
+        let opts = Opts::default();
+        let pool = shared_pool(&p, &p, opts.fresh_inputs);
+        let g = Graph::build(&p, &defs, &pool, opts).expect("finite test term");
+        for v in ALL {
+            let part = refine_partition_self(v, &g);
+            assert_eq!(part.blocks.len(), g.len());
+            assert_eq!(part.n2, 0);
+            // Canonical numbering: root in block 0, ids dense.
+            assert_eq!(part.blocks[0], 0);
+            assert!(part.num_blocks <= g.len());
+        }
+    }
+}
