@@ -86,6 +86,44 @@ pub fn wide_par_tagged(n: usize, tag: &str) -> bpi_core::syntax::P {
     }))
 }
 
+/// `Πᴺ (ā + τ.b̄.a(​))` — N *identical* stations on **shared** channels:
+/// every copy is the same hash-consed term, so the compositional
+/// engine's symmetry reduction collapses the product to multisets of
+/// local classes (polynomially many orbit states) while the monolithic
+/// graph keeps every ordered tuple (exponentially many states — `canon`
+/// deliberately does not commute `‖`). The BENCH_8 wide-composition
+/// ladder family.
+pub fn identical_stations(n: usize) -> bpi_core::syntax::P {
+    identical_stations_tagged(n, "")
+}
+
+/// [`identical_stations`] with `tag`-prefixed (but still shared within
+/// the system) channel names — fresh tags defeat the graph and compose
+/// memos so each sample pays cold construction.
+pub fn identical_stations_tagged(n: usize, tag: &str) -> bpi_core::syntax::P {
+    use bpi_core::builder::*;
+    let a = bpi_core::Name::intern_raw(&format!("{tag}sa"));
+    let b = bpi_core::Name::intern_raw(&format!("{tag}sb"));
+    par_of((0..n).map(|_| sum(out_(a, []), tau(out(b, [], inp_(a, []))))))
+}
+
+/// `Πᴺ (ā.b̄)` on **shared** channels — the 3^N family of
+/// [`independent_components`], but with every copy identical so the
+/// orbit space is the `C(n+2, 2)` multisets of the three local states
+/// instead of the `3^N` tuples. The BENCH_8 3^N ladder family.
+pub fn shared_components(n: usize) -> bpi_core::syntax::P {
+    shared_components_tagged(n, "")
+}
+
+/// [`shared_components`] with `tag`-prefixed shared channel names (see
+/// [`identical_stations_tagged`] for why).
+pub fn shared_components_tagged(n: usize, tag: &str) -> bpi_core::syntax::P {
+    use bpi_core::builder::*;
+    let a = bpi_core::Name::intern_raw(&format!("{tag}ca"));
+    let b = bpi_core::Name::intern_raw(&format!("{tag}cb"));
+    par_of((0..n).map(|_| out(a, [], out_(b, []))))
+}
+
 /// The deep alternating prefix/sum term from benches/normalize.rs.
 pub fn deep_term(depth: usize) -> bpi_core::syntax::P {
     use bpi_core::builder::*;

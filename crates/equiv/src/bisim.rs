@@ -298,6 +298,25 @@ impl<'d> Checker<'d> {
         q: &P,
     ) -> Result<(Arc<Graph>, Arc<Graph>, PairRelation), EngineError> {
         let pool = shared_pool(p, q, self.opts.fresh_inputs);
+        // `BPI_COMPOSE` routes qualifying top-level parallel shapes
+        // through the minimize-then-compose engine; the composed graphs
+        // are strongly labelled-bisimilar to the monolithic ones, so
+        // every downstream verdict is unchanged (compose_oracle.rs).
+        // The gate declining is not an error — just the monolithic path.
+        if crate::compose::compose_enabled() {
+            if let Some((g1, g2)) = crate::compose::try_compose_pair(
+                p,
+                q,
+                self.defs,
+                &pool,
+                self.opts,
+                &self.budget,
+                self.threads,
+            )? {
+                let rel = refine_auto(v, &g1, &g2, self.threads);
+                return Ok((g1, g2, rel));
+            }
+        }
         let g1 = Graph::build_cached_threads(
             p,
             self.defs,

@@ -1070,6 +1070,37 @@ impl Graph {
         self.discarding[i].contains(a)
     }
 
+    /// Whether any label of this graph is a bound (extruding) output.
+    /// The compositional engine of [`crate::compose`] cannot push a
+    /// restriction over a synchronized product, so scope extrusion in
+    /// any component forces the monolithic fallback.
+    pub fn has_bound_output_labels(&self) -> bool {
+        self.csr
+            .labels()
+            .iter()
+            .any(|a| !a.bound_names().is_empty())
+    }
+
+    /// Whether every state of this graph either discards or *visibly*
+    /// listens on every pool channel — i.e. has no "silent blocker": a
+    /// state that neither discards `a` nor carries any input edge on `a`
+    /// (an inner parallel component listening at a different arity than
+    /// its sibling, rule (12) with an empty receive set). Such a state
+    /// blocks broadcasts on `a` while being labelled-bisimilar to one
+    /// that discards them, so the quotient step of the compositional
+    /// engine is only sound when this holds.
+    pub fn covers_pool(&self) -> bool {
+        (0..self.len()).all(|i| {
+            let mut heard = NameSet::new();
+            for (act, _) in self.input_edges(i) {
+                heard.insert(act.subject().expect("input labels have a subject"));
+            }
+            self.pool
+                .iter()
+                .all(|&a| heard.contains(a) || self.state_discards(i, a))
+        })
+    }
+
     /// τ-closure of `i` (including `i`), as a sorted set. Computed once
     /// per state and shared.
     pub fn tau_closure(&self, i: usize) -> Arc<BTreeSet<usize>> {

@@ -35,6 +35,7 @@
 pub mod arbitrary;
 pub mod bisim;
 pub mod checkpoint;
+pub mod compose;
 pub mod congruence;
 pub mod contexts;
 pub mod distinguish;
@@ -55,6 +56,7 @@ pub use bisim::{
 pub use checkpoint::{
     Checkpoint, GraphCheckpoint, PartitionCheckpoint, RefineCheckpoint, SupervisedVerdict,
 };
+pub use compose::{build_composed, compose_enabled, try_compose_pair};
 pub use congruence::{
     congruent_strong, congruent_weak, sim_plus, try_congruent_strong, try_congruent_strong_threads,
     try_congruent_weak, try_congruent_weak_threads, try_sim_plus, try_weak_sim_plus, weak_sim_plus,
@@ -68,8 +70,9 @@ pub use epsilon::{
 pub use graph::{identification_substs, shared_pool, Csr, Graph, Opts, PredCsr};
 pub use logic::{sat, satisfies, try_satisfies, Formula};
 pub use partition::{
-    partition_safe, partition_to_relation, quotient, refine_partition, refine_partition_budgeted,
-    refine_partition_resume, refine_partition_self, Partition,
+    partition_safe, partition_to_relation, quotient, quotient_threads, refine_partition,
+    refine_partition_budgeted, refine_partition_parallel, refine_partition_resume,
+    refine_partition_self, refine_partition_self_threads, Partition,
 };
 pub use sensors::{sensor_context, sensors_separate, SensorBarbs};
 pub use testing::{may_equivalent_sampled, may_pass, trace_equivalent, traces, Test};

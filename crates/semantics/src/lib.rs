@@ -74,7 +74,7 @@ pub use faults::{
     deafen, lossy_traces, noise, FaultError, FaultEvent, FaultLog, FaultPlan, FaultySimulator,
 };
 pub use frontier::{expand_frontier, renumber_bfs, Expansion, FrontierOutcome};
-pub use lts::{tuples, Lts};
+pub use lts::{par_components, tuples, Lts};
 pub use prob::{
     convergence_exact, convergence_mc, convergence_mc_resume, sample_seed, step_distribution,
     wilson_ci, ExactOutcome, McCheckpoint, ProbError, ReliabilityEstimate,

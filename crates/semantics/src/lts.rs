@@ -300,6 +300,27 @@ impl<'d> Lts<'d> {
     }
 }
 
+/// The top-level parallel components of `p`: the leaves of its outermost
+/// `‖`-spine, left to right. A process that is not a parallel
+/// composition is its own single component. This is the decomposition
+/// the compositional graph engine of `bpi-equiv` minimizes component by
+/// component (expansion law, Table 8): a restriction *above* the spine
+/// deliberately stops the flattening, because its scope spans every
+/// component and component-wise analysis would lose the shared binder.
+pub fn par_components(p: &P) -> Vec<P> {
+    fn go(p: &P, out: &mut Vec<P>) {
+        if let Process::Par(l, r) = &**p {
+            go(l, out);
+            go(r, out);
+        } else {
+            out.push(p.clone());
+        }
+    }
+    let mut out = Vec::new();
+    go(p, &mut out);
+    out
+}
+
 /// All tuples of length `arity` over `pool` (cartesian power, pool-order).
 pub fn tuples(pool: &[Name], arity: usize) -> Vec<Vec<Name>> {
     if arity == 0 {
